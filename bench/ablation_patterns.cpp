@@ -1,0 +1,42 @@
+/// \file ablation_patterns.cpp
+/// \brief Ablation B: SAT-guided versus purely random initial patterns
+/// (§IV-A's two-round generation).
+///
+/// Runs the STP sweeper with and without guided patterns on several
+/// Table II workloads and reports candidate-quality metrics: satisfiable
+/// SAT calls (CEs the sweep had to chase), total SAT calls, and runtime.
+/// The paper's claim: guidance removes false constant candidates and
+/// near-constant signatures, so the sweep issues far fewer queries.
+#include "gen/benchmarks.hpp"
+#include "sweep/stp_sweeper.hpp"
+
+#include <cstdio>
+
+int main()
+{
+  using namespace stps;
+  const char* names[] = {"6s20", "beemfwt4b1", "b18", "oski15a07b0s"};
+
+  std::printf("Ablation B: initial pattern generation (STP sweeper)\n\n");
+  std::printf("%-13s | %18s | %10s %10s %9s %8s\n", "Benchmark", "patterns",
+              "sat calls", "total SAT", "merges", "time(s)");
+
+  for (const char* name : names) {
+    for (const bool guided : {false, true}) {
+      net::aig_network aig = gen::make_sweep_benchmark(name);
+      sweep::stp_sweep_params params;
+      params.guided.base_patterns = 1024u;
+      params.use_guided_patterns = guided;
+      const sweep::sweep_stats s = sweep::stp_sweep(aig, params);
+      std::printf("%-13s | %18s | %10llu %10llu %9llu %8.3f\n", name,
+                  guided ? "SAT-guided (paper)" : "random only",
+                  static_cast<unsigned long long>(s.sat_calls_satisfiable),
+                  static_cast<unsigned long long>(s.sat_calls_total),
+                  static_cast<unsigned long long>(s.merges),
+                  s.total_seconds);
+    }
+  }
+  std::printf("\nguided runs spend extra queries up front (round 1/2) but "
+              "chase fewer counter-examples during the sweep.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+/// \file equivalence_check.cpp
+/// \brief Combinational equivalence checking of two AIGER files, plus a
+/// self-contained demo when no files are given.
+///
+/// Usage: equivalence_check [a.aig b.aig]
+///
+/// With two AIGER paths, behaves like ABC's `cec a.aig b.aig`.  Without
+/// arguments it builds a multiplier, rewrites it redundantly, saves both
+/// as AIGER, rereads them, and checks equivalence — exercising the whole
+/// I/O + CEC stack.
+#include "gen/arithmetic.hpp"
+#include "gen/redundancy.hpp"
+#include "io/aiger.hpp"
+#include "sweep/cec.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace {
+
+int report(const stps::sweep::cec_result& result)
+{
+  if (result.equivalent) {
+    std::printf("Networks are equivalent. (%llu SAT calls)\n",
+                static_cast<unsigned long long>(result.sat_calls));
+    return 0;
+  }
+  if (result.undecided) {
+    std::printf("Undecided: conflict budget exhausted.\n");
+    return 2;
+  }
+  std::printf("NOT equivalent: PO %u differs. Counter-example:",
+              *result.failing_po);
+  for (const bool b : result.counter_example) {
+    std::printf(" %d", b ? 1 : 0);
+  }
+  std::printf("\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+  using namespace stps;
+  if (argc == 3) {
+    const net::aig_network a = io::read_aiger(std::string{argv[1]});
+    const net::aig_network b = io::read_aiger(std::string{argv[2]});
+    std::printf("a: %u gates, b: %u gates\n", a.num_gates(), b.num_gates());
+    return report(sweep::check_equivalence(a, b));
+  }
+
+  std::printf("no files given; running the self-contained demo\n");
+  const net::aig_network mult = gen::make_multiplier(12u);
+  const net::aig_network redundant =
+      gen::inject_redundancy(mult, {12u, 4u, 99u});
+  std::printf("multiplier: %u gates; redundant rewrite: %u gates\n",
+              mult.num_gates(), redundant.num_gates());
+
+  // Round-trip both through binary AIGER to exercise the I/O stack.
+  std::stringstream sa, sb;
+  io::write_aiger_binary(mult, sa);
+  io::write_aiger_binary(redundant, sb);
+  const net::aig_network a = io::read_aiger(sa);
+  const net::aig_network b = io::read_aiger(sb);
+  std::printf("after AIGER round-trip: %u / %u gates\n", a.num_gates(),
+              b.num_gates());
+  return report(sweep::check_equivalence(a, b));
+}

@@ -1,0 +1,51 @@
+/// \file stp_eval.hpp
+/// \brief Word-parallel STP evaluation of a k-LUT.
+///
+/// The paper's claim (§III): with STP, "the output values of any node can
+/// be computed by one matrix pass".  A structural matrix M_f ∈ M_{2×2^k}
+/// multiplied by input vectors x_1 ⋉ … ⋉ x_k halves its active column
+/// block with every factor.  Lifting that product to 64 simulation
+/// patterns at once, each halving step becomes one word multiplex
+///
+///     block_i = (x & block_{i+2^{j}}) | (~x & block_i),
+///
+/// so a k-LUT costs ~2^k word operations for 64 patterns — instead of the
+/// per-pattern bit extraction and index assembly of conventional k-LUT
+/// simulators (src/sim/bitwise_sim.hpp).  `stp_evaluate_words` is this
+/// matrix pass; `stp_evaluate_single` is the literal one-pattern STP
+/// product, and tests pin both to the dense-matrix algebra in src/stp.
+#pragma once
+
+#include "tt/truth_table.hpp"
+
+#include <cstdint>
+#include <span>
+
+namespace stps::core {
+
+/// Scratch space reused across gates; sized for the largest k.
+class stp_scratch
+{
+public:
+  void reserve(uint32_t max_vars);
+  uint64_t* data() noexcept { return blocks_.data(); }
+  std::size_t size() const noexcept { return blocks_.size(); }
+
+private:
+  std::vector<uint64_t> blocks_;
+};
+
+/// Evaluates \p table word-parallel: `inputs[i]` is the signature word of
+/// fanin i (i = table variable i, LSB-first); returns the output word.
+/// \p scratch must be reserved for at least `table.num_vars()` variables.
+uint64_t stp_evaluate_word(const tt::truth_table& table,
+                           std::span<const uint64_t> inputs,
+                           stp_scratch& scratch);
+
+/// Literal single-pattern STP product M_f ⋉ x_1 ⋉ … ⋉ x_k.  inputs[i]
+/// corresponds to table variable i; internally reversed into STP factor
+/// order (x_1 = leading = MSB variable).
+bool stp_evaluate_single(const tt::truth_table& table,
+                         std::span<const bool> inputs);
+
+} // namespace stps::core

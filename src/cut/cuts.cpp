@@ -1,0 +1,143 @@
+#include "cut/cuts.hpp"
+
+#include "tt/operations.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace stps::cut {
+
+bool cut_t::dominates(const cut_t& other) const
+{
+  return std::includes(other.leaves.begin(), other.leaves.end(),
+                       leaves.begin(), leaves.end());
+}
+
+namespace {
+
+/// Merges two sorted leaf sets; returns false if the union exceeds k.
+bool merge_leaves(const cut_t& a, const cut_t& b, uint32_t k, cut_t& out)
+{
+  out.leaves.clear();
+  auto ia = a.leaves.begin();
+  auto ib = b.leaves.begin();
+  while (ia != a.leaves.end() || ib != b.leaves.end()) {
+    net::node next;
+    if (ib == b.leaves.end() || (ia != a.leaves.end() && *ia < *ib)) {
+      next = *ia++;
+    } else if (ia == a.leaves.end() || *ib < *ia) {
+      next = *ib++;
+    } else {
+      next = *ia;
+      ++ia;
+      ++ib;
+    }
+    if (out.leaves.size() >= k) {
+      return false;
+    }
+    out.leaves.push_back(next);
+  }
+  return true;
+}
+
+void insert_cut(std::vector<cut_t>& set, cut_t cut, uint32_t limit)
+{
+  for (const cut_t& existing : set) {
+    if (existing.dominates(cut)) {
+      return;
+    }
+  }
+  std::erase_if(set, [&](const cut_t& existing) {
+    return cut.dominates(existing) && cut.leaves.size() <= existing.leaves.size();
+  });
+  // Priority: smaller cuts first.
+  const auto pos = std::find_if(set.begin(), set.end(), [&](const cut_t& c) {
+    return c.leaves.size() > cut.leaves.size();
+  });
+  set.insert(pos, std::move(cut));
+  if (set.size() > limit) {
+    set.resize(limit);
+  }
+}
+
+} // namespace
+
+cut_set::cut_set(const net::aig_network& aig, const cut_config& config)
+    : config_{config}, cuts_(aig.size())
+{
+  aig.foreach_pi([&](net::node n) {
+    cuts_[n].push_back(cut_t{{n}});
+  });
+  aig.foreach_gate([&](net::node n) {
+    const net::node a = aig.fanin0(n).get_node();
+    const net::node b = aig.fanin1(n).get_node();
+    auto& set = cuts_[n];
+    // Constant fanins contribute an empty leaf set.
+    static const std::vector<cut_t> const_cuts{cut_t{}};
+    const auto& ca = aig.is_constant(a) ? const_cuts : cuts_[a];
+    const auto& cb = aig.is_constant(b) ? const_cuts : cuts_[b];
+    for (const cut_t& x : ca) {
+      for (const cut_t& y : cb) {
+        cut_t merged;
+        if (merge_leaves(x, y, config_.cut_size, merged)) {
+          insert_cut(set, std::move(merged), config_.cut_limit - 1u);
+        }
+      }
+    }
+    set.push_back(cut_t{{n}}); // trivial cut, always last
+  });
+}
+
+tt::truth_table cut_function(const net::aig_network& aig, net::node root,
+                             const cut_t& cut)
+{
+  const uint32_t k = static_cast<uint32_t>(cut.leaves.size());
+  std::unordered_map<net::node, tt::truth_table> memo;
+  memo.reserve(64u);
+  for (uint32_t i = 0; i < k; ++i) {
+    memo.emplace(cut.leaves[i], tt::make_var(k, i));
+  }
+
+  // Iterative post-order evaluation of the cone above the leaves.
+  std::vector<net::node> stack{root};
+  while (!stack.empty()) {
+    const net::node n = stack.back();
+    if (memo.count(n) != 0u) {
+      stack.pop_back();
+      continue;
+    }
+    if (aig.is_constant(n)) {
+      memo.emplace(n, tt::make_const0(k));
+      stack.pop_back();
+      continue;
+    }
+    if (!aig.is_and(n)) {
+      throw std::invalid_argument{"cut_function: cut does not cover cone"};
+    }
+    const net::node a = aig.fanin0(n).get_node();
+    const net::node b = aig.fanin1(n).get_node();
+    const auto ita = memo.find(a);
+    const auto itb = memo.find(b);
+    if (ita == memo.end() || itb == memo.end()) {
+      if (ita == memo.end()) {
+        stack.push_back(a);
+      }
+      if (itb == memo.end()) {
+        stack.push_back(b);
+      }
+      continue;
+    }
+    tt::truth_table ta = aig.fanin0(n).is_complemented()
+                             ? tt::unary_not(ita->second)
+                             : ita->second;
+    tt::truth_table tb = aig.fanin1(n).is_complemented()
+                             ? tt::unary_not(itb->second)
+                             : itb->second;
+    memo.emplace(n, tt::binary_and(ta, tb));
+    stack.pop_back();
+  }
+  return memo.at(root);
+}
+
+} // namespace stps::cut

@@ -1,0 +1,58 @@
+/// \file cuts.hpp
+/// \brief k-feasible priority cut enumeration on AIGs.
+///
+/// A *cut* of node n is a set of nodes (leaves) such that every path from
+/// a PI to n passes through a leaf; it is k-feasible if it has at most k
+/// leaves.  Cuts are the windows everything else is built on: LUT mapping
+/// covers the AIG with chosen cuts, and the STP simulator's exhaustive
+/// windows (§III-B) are cut cones.
+#pragma once
+
+#include "network/aig.hpp"
+#include "tt/truth_table.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stps::cut {
+
+/// One cut: sorted leaf ids.
+struct cut_t
+{
+  std::vector<net::node> leaves;
+
+  bool operator==(const cut_t&) const = default;
+  /// True iff every leaf of *this is a leaf of \p other (then *this
+  /// dominates \p other and the latter is redundant).
+  bool dominates(const cut_t& other) const;
+};
+
+/// Priority-cut enumeration parameters.
+struct cut_config
+{
+  uint32_t cut_size = 6;     ///< maximum leaves per cut (k)
+  uint32_t cut_limit = 8;    ///< cuts kept per node (priority truncation)
+};
+
+/// Per-node cut sets for all live nodes; index = node id.  Every node's
+/// set ends with its trivial cut {n}.
+class cut_set
+{
+public:
+  cut_set(const net::aig_network& aig, const cut_config& config);
+
+  const std::vector<cut_t>& cuts(net::node n) const { return cuts_.at(n); }
+  const cut_config& config() const noexcept { return config_; }
+
+private:
+  cut_config config_;
+  std::vector<std::vector<cut_t>> cuts_;
+};
+
+/// Truth table of \p root expressed over the leaves of \p cut (leaf i =
+/// table variable i).  Computed by memoized cone traversal — the
+/// functional content the STP layer turns into a structural matrix.
+tt::truth_table cut_function(const net::aig_network& aig, net::node root,
+                             const cut_t& cut);
+
+} // namespace stps::cut

@@ -1,0 +1,105 @@
+#include "cut/lut_mapper.hpp"
+
+#include "tt/operations.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace stps::cut {
+
+lut_map_result lut_map(const net::aig_network& aig, uint32_t k,
+                       uint32_t cut_limit)
+{
+  if (k < 2u || k > 16u) {
+    throw std::invalid_argument{"lut_map: k out of range"};
+  }
+  const cut_set cuts{aig, cut_config{k, cut_limit}};
+
+  // Phase 1: choose the depth-minimal non-trivial cut per gate.
+  std::vector<uint32_t> best_depth(aig.size(), 0u);
+  std::vector<const cut_t*> best_cut(aig.size(), nullptr);
+  aig.foreach_gate([&](net::node n) {
+    uint32_t best = std::numeric_limits<uint32_t>::max();
+    const cut_t* chosen = nullptr;
+    for (const cut_t& c : cuts.cuts(n)) {
+      if (c.leaves.size() == 1u && c.leaves[0] == n) {
+        continue; // trivial cut cannot implement the node
+      }
+      uint32_t d = 0;
+      for (const net::node leaf : c.leaves) {
+        d = std::max(d, best_depth[leaf]);
+      }
+      ++d;
+      if (d < best ||
+          (d == best && chosen != nullptr &&
+           c.leaves.size() < chosen->leaves.size())) {
+        best = d;
+        chosen = &c;
+      }
+    }
+    if (chosen == nullptr) {
+      throw std::logic_error{"lut_map: gate without implementable cut"};
+    }
+    best_depth[n] = best;
+    best_cut[n] = chosen;
+  });
+
+  // Phase 2: cover from the POs.
+  std::vector<bool> required(aig.size(), false);
+  std::vector<net::node> frontier;
+  aig.foreach_po([&](net::signal f, uint32_t) {
+    const net::node n = f.get_node();
+    if (aig.is_and(n) && !required[n]) {
+      required[n] = true;
+      frontier.push_back(n);
+    }
+  });
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const net::node n = frontier[i];
+    for (const net::node leaf : best_cut[n]->leaves) {
+      if (aig.is_and(leaf) && !required[leaf]) {
+        required[leaf] = true;
+        frontier.push_back(leaf);
+      }
+    }
+  }
+
+  // Phase 3: build the k-LUT network in topological order.
+  lut_map_result result;
+  result.node_map.assign(aig.size(), 0u);
+  aig.foreach_pi([&](net::node n) {
+    result.node_map[n] = result.klut.create_pi(aig.pi_name(n - 1u));
+  });
+  aig.foreach_gate([&](net::node n) {
+    if (!required[n]) {
+      return;
+    }
+    const cut_t& c = *best_cut[n];
+    std::vector<net::klut_network::node> fanins;
+    fanins.reserve(c.leaves.size());
+    for (const net::node leaf : c.leaves) {
+      fanins.push_back(result.node_map[leaf]);
+    }
+    result.node_map[n] =
+        result.klut.create_node(fanins, cut_function(aig, n, c));
+  });
+  aig.foreach_po([&](net::signal f, uint32_t index) {
+    const net::node n = f.get_node();
+    net::klut_network::node source;
+    if (aig.is_constant(n)) {
+      source = result.klut.get_constant(f.is_complemented());
+    } else if (f.is_complemented()) {
+      // Materialize the inversion as a 1-input LUT.
+      const net::klut_network::node in = result.node_map[n];
+      const net::klut_network::node fis[1] = {in};
+      source = result.klut.create_node(fis, tt::truth_table{1u, {0x1ull}});
+    } else {
+      source = result.node_map[n];
+    }
+    result.klut.create_po(source, aig.po_name(index));
+  });
+  return result;
+}
+
+} // namespace stps::cut

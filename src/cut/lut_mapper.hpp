@@ -1,0 +1,30 @@
+/// \file lut_mapper.hpp
+/// \brief Depth-oriented AIG → k-LUT technology mapping.
+///
+/// Table I simulates 6-LUT networks obtained from the EPFL AIGs; this
+/// mapper produces those networks.  It is a classical two-phase cut-based
+/// mapper: enumerate priority cuts, pick per node the depth-minimal cut
+/// (ties broken by fewer leaves), then cover the AIG from the POs,
+/// computing each chosen cut's truth table on the way.
+#pragma once
+
+#include "cut/cuts.hpp"
+#include "network/aig.hpp"
+#include "network/klut.hpp"
+
+#include <vector>
+
+namespace stps::cut {
+
+struct lut_map_result
+{
+  net::klut_network klut;
+  /// old AIG node id → klut node id, valid for PIs and mapped roots.
+  std::vector<net::klut_network::node> node_map;
+};
+
+/// Maps \p aig into a k-LUT network; \p k must be in [2, 16].
+lut_map_result lut_map(const net::aig_network& aig, uint32_t k = 6u,
+                       uint32_t cut_limit = 8u);
+
+} // namespace stps::cut

@@ -1,0 +1,168 @@
+#include "cut/tree_cuts.hpp"
+
+#include "tt/operations.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace stps::cut {
+
+namespace {
+
+using knode = net::klut_network::node;
+
+constexpr knode invalid_node = std::numeric_limits<knode>::max();
+
+/// Truth table of \p root over the boundary nodes \p leaves (leaf i =
+/// variable i); the cone between them must contain only non-root gates.
+tt::truth_table cone_function(const net::klut_network& klut, knode root,
+                              std::span<const knode> leaves)
+{
+  const uint32_t k = static_cast<uint32_t>(leaves.size());
+  std::unordered_map<knode, tt::truth_table> memo;
+  for (uint32_t i = 0; i < k; ++i) {
+    memo.emplace(leaves[i], tt::make_var(k, i));
+  }
+  memo.emplace(klut.get_constant(false), tt::make_const0(k));
+  memo.emplace(klut.get_constant(true), tt::make_const1(k));
+
+  std::vector<knode> stack{root};
+  while (!stack.empty()) {
+    const knode n = stack.back();
+    if (memo.count(n) != 0u) {
+      stack.pop_back();
+      continue;
+    }
+    if (!klut.is_gate(n)) {
+      throw std::invalid_argument{"cone_function: leaves do not bound cone"};
+    }
+    bool ready = true;
+    for (const knode f : klut.fanins(n)) {
+      if (memo.count(f) == 0u) {
+        stack.push_back(f);
+        ready = false;
+      }
+    }
+    if (!ready) {
+      continue;
+    }
+    std::vector<tt::truth_table> inner;
+    inner.reserve(klut.fanin_count(n));
+    for (const knode f : klut.fanins(n)) {
+      inner.push_back(memo.at(f));
+    }
+    memo.emplace(n, tt::compose(klut.table(n), inner));
+    stack.pop_back();
+  }
+  return memo.at(root);
+}
+
+} // namespace
+
+collapse_result collapse_to_cuts(const net::klut_network& klut,
+                                 std::span<const knode> targets,
+                                 uint32_t limit)
+{
+  if (limit < 1u) {
+    throw std::invalid_argument{"collapse_to_cuts: limit must be >= 1"};
+  }
+  // Reference counts: fanin references plus PO references.
+  std::vector<uint32_t> refs(klut.size(), 0u);
+  klut.foreach_gate([&](knode n) {
+    for (const knode f : klut.fanins(n)) {
+      ++refs[f];
+    }
+  });
+  klut.foreach_po([&](knode n, uint32_t) { ++refs[n]; });
+
+  std::vector<bool> is_root(klut.size(), false);
+  for (const knode t : targets) {
+    if (klut.is_gate(t)) {
+      is_root[t] = true;
+    }
+  }
+  klut.foreach_gate([&](knode n) {
+    if (refs[n] != 1u) {
+      is_root[n] = true; // multi-fanout (or dangling) gates are boundaries
+    }
+  });
+  klut.foreach_po([&](knode n, uint32_t) {
+    if (klut.is_gate(n)) {
+      is_root[n] = true;
+    }
+  });
+
+  // Leaves of each gate's current cone, computed bottom-up.  Because
+  // non-root internal nodes have exactly one fanout, promotions while
+  // processing gate n only ever split n's own cone.
+  std::vector<std::vector<knode>> leaves(klut.size());
+  const auto boundary = [&](knode f) {
+    return !klut.is_gate(f) || is_root[f];
+  };
+  klut.foreach_gate([&](knode n) {
+    auto recompute = [&]() {
+      std::vector<knode> acc;
+      for (const knode f : klut.fanins(n)) {
+        if (boundary(f)) {
+          if (!klut.is_constant(f)) {
+            acc.push_back(f);
+          }
+        } else {
+          acc.insert(acc.end(), leaves[f].begin(), leaves[f].end());
+        }
+      }
+      std::sort(acc.begin(), acc.end());
+      acc.erase(std::unique(acc.begin(), acc.end()), acc.end());
+      return acc;
+    };
+    leaves[n] = recompute();
+    while (leaves[n].size() > limit) {
+      // Promote the absorbed fanin with the largest sub-cone.
+      knode widest = invalid_node;
+      std::size_t widest_size = 0;
+      for (const knode f : klut.fanins(n)) {
+        if (!boundary(f) && leaves[f].size() >= widest_size) {
+          widest = f;
+          widest_size = leaves[f].size();
+        }
+      }
+      if (widest == invalid_node) {
+        // All fanins are boundaries already; the gate's own fanin count
+        // exceeds the limit and cannot be split further.
+        break;
+      }
+      is_root[widest] = true;
+      leaves[n] = recompute();
+    }
+  });
+
+  // Build the collapsed network.
+  collapse_result result;
+  result.node_map.assign(klut.size(), invalid_node);
+  result.node_map[klut.get_constant(false)] = result.net.get_constant(false);
+  result.node_map[klut.get_constant(true)] = result.net.get_constant(true);
+  klut.foreach_pi([&](knode n) {
+    result.node_map[n] = result.net.create_pi();
+  });
+  klut.foreach_gate([&](knode n) {
+    if (!is_root[n]) {
+      return;
+    }
+    result.roots.push_back(n);
+    std::vector<knode> fanins;
+    fanins.reserve(leaves[n].size());
+    for (const knode leaf : leaves[n]) {
+      fanins.push_back(result.node_map[leaf]);
+    }
+    result.node_map[n] =
+        result.net.create_node(fanins, cone_function(klut, n, leaves[n]));
+  });
+  klut.foreach_po([&](knode n, uint32_t) {
+    result.net.create_po(result.node_map[n]);
+  });
+  return result;
+}
+
+} // namespace stps::cut

@@ -1,0 +1,39 @@
+/// \file tree_cuts.hpp
+/// \brief The paper's cut algorithm (§III-B): collapse a k-LUT network
+/// into tree cuts bounded by a leaf limit, keeping specified nodes as
+/// boundaries.
+///
+/// Nodes that must be observable (the *specified* set s), gates with
+/// multiple fanouts, and gates driving POs become cut roots; every other
+/// gate is absorbed into the cone of its unique fanout.  When a cone
+/// would exceed \p limit leaves, the largest sub-cone is promoted to a
+/// root (splitting the tree).  The result is a smaller k'-LUT network
+/// whose gates are exactly the cut roots, each carrying the STP-composed
+/// truth table of its cone — so a node with n fanouts is accessed once
+/// instead of n+1 times (§III-B).
+#pragma once
+
+#include "network/klut.hpp"
+
+#include <span>
+#include <vector>
+
+namespace stps::cut {
+
+struct collapse_result
+{
+  net::klut_network net;
+  /// old klut node id → new klut node id; valid for constants, PIs, and
+  /// cut roots (0xffffffff elsewhere).
+  std::vector<net::klut_network::node> node_map;
+  /// Cut roots in topological order (old ids).
+  std::vector<net::klut_network::node> roots;
+};
+
+/// Collapses \p klut into tree cuts with at most \p limit leaves each;
+/// every node in \p targets is preserved as a root.
+collapse_result collapse_to_cuts(
+    const net::klut_network& klut,
+    std::span<const net::klut_network::node> targets, uint32_t limit);
+
+} // namespace stps::cut

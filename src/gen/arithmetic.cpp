@@ -1,0 +1,302 @@
+#include "gen/arithmetic.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace stps::gen {
+
+namespace {
+
+using net::aig_network;
+using net::signal;
+
+std::vector<signal> make_pis(aig_network& aig, uint32_t count,
+                             const std::string& prefix)
+{
+  std::vector<signal> pis;
+  pis.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    pis.push_back(aig.create_pi(prefix + std::to_string(i)));
+  }
+  return pis;
+}
+
+void make_pos(aig_network& aig, const std::vector<signal>& signals,
+              const std::string& prefix)
+{
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    aig.create_po(signals[i], prefix + std::to_string(i));
+  }
+}
+
+/// Full adder.
+std::pair<signal, signal> full_adder(aig_network& aig, signal a, signal b,
+                                     signal c)
+{
+  const signal sum = aig.create_xor(aig.create_xor(a, b), c);
+  const signal carry = aig.create_maj(a, b, c);
+  return {sum, carry};
+}
+
+} // namespace
+
+adder_result add_vectors(aig_network& aig, const std::vector<signal>& a,
+                         const std::vector<signal>& b, signal carry_in)
+{
+  if (a.size() != b.size()) {
+    throw std::invalid_argument{"add_vectors: width mismatch"};
+  }
+  adder_result result;
+  result.sum.reserve(a.size());
+  signal carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [s, c] = full_adder(aig, a[i], b[i], carry);
+    result.sum.push_back(s);
+    carry = c;
+  }
+  result.carry = carry;
+  return result;
+}
+
+adder_result subtract_vectors(aig_network& aig, const std::vector<signal>& a,
+                              const std::vector<signal>& b)
+{
+  std::vector<signal> b_inv;
+  b_inv.reserve(b.size());
+  for (const signal s : b) {
+    b_inv.push_back(!s);
+  }
+  return add_vectors(aig, a, b_inv, aig.get_constant(true));
+}
+
+signal less_than(aig_network& aig, const std::vector<signal>& a,
+                 const std::vector<signal>& b)
+{
+  // a < b  iff  a - b borrows.
+  return !subtract_vectors(aig, a, b).carry;
+}
+
+std::vector<signal> mux_vectors(aig_network& aig, signal s,
+                                const std::vector<signal>& a,
+                                const std::vector<signal>& b)
+{
+  if (a.size() != b.size()) {
+    throw std::invalid_argument{"mux_vectors: width mismatch"};
+  }
+  std::vector<signal> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(aig.create_mux(s, a[i], b[i]));
+  }
+  return out;
+}
+
+std::vector<signal> multiply_vectors(aig_network& aig,
+                                     const std::vector<signal>& a,
+                                     const std::vector<signal>& b)
+{
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<signal> acc(n + m, aig.get_constant(false));
+  // Array multiplier: accumulate partial products row by row.
+  for (std::size_t j = 0; j < m; ++j) {
+    signal carry = aig.get_constant(false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const signal pp = aig.create_and(a[i], b[j]);
+      auto [s, c] = full_adder(aig, acc[i + j], pp, carry);
+      acc[i + j] = s;
+      carry = c;
+    }
+    acc[n + j] = carry;
+  }
+  return acc;
+}
+
+net::aig_network make_adder(uint32_t width)
+{
+  aig_network aig;
+  const auto a = make_pis(aig, width, "a");
+  const auto b = make_pis(aig, width, "b");
+  const signal cin = aig.create_pi("cin");
+  const adder_result r = add_vectors(aig, a, b, cin);
+  make_pos(aig, r.sum, "s");
+  aig.create_po(r.carry, "cout");
+  return aig;
+}
+
+net::aig_network make_barrel_shifter(uint32_t width_log2)
+{
+  aig_network aig;
+  const uint32_t width = 1u << width_log2;
+  auto data = make_pis(aig, width, "d");
+  const auto shift = make_pis(aig, width_log2, "s");
+  // Logarithmic rotate-left stages.
+  for (uint32_t stage = 0; stage < width_log2; ++stage) {
+    const uint32_t amount = 1u << stage;
+    std::vector<signal> rotated(width, aig.get_constant(false));
+    for (uint32_t i = 0; i < width; ++i) {
+      rotated[(i + amount) % width] = data[i];
+    }
+    data = mux_vectors(aig, shift[stage], rotated, data);
+  }
+  make_pos(aig, data, "q");
+  return aig;
+}
+
+net::aig_network make_multiplier(uint32_t width)
+{
+  aig_network aig;
+  const auto a = make_pis(aig, width, "a");
+  const auto b = make_pis(aig, width, "b");
+  make_pos(aig, multiply_vectors(aig, a, b), "p");
+  return aig;
+}
+
+net::aig_network make_square(uint32_t width)
+{
+  aig_network aig;
+  const auto a = make_pis(aig, width, "a");
+  make_pos(aig, multiply_vectors(aig, a, a), "p");
+  return aig;
+}
+
+net::aig_network make_divider(uint32_t width)
+{
+  aig_network aig;
+  const auto dividend = make_pis(aig, width, "n");
+  const auto divisor = make_pis(aig, width, "d");
+  // Restoring division, MSB-first.
+  std::vector<signal> remainder(width, aig.get_constant(false));
+  std::vector<signal> quotient(width, aig.get_constant(false));
+  for (uint32_t step = 0; step < width; ++step) {
+    // Shift remainder left, bring in the next dividend bit.
+    for (uint32_t i = width; i-- > 1u;) {
+      remainder[i] = remainder[i - 1u];
+    }
+    remainder[0] = dividend[width - 1u - step];
+    const adder_result diff = subtract_vectors(aig, remainder, divisor);
+    const signal fits = diff.carry; // remainder >= divisor
+    remainder = mux_vectors(aig, fits, diff.sum, remainder);
+    quotient[width - 1u - step] = fits;
+  }
+  make_pos(aig, quotient, "q");
+  make_pos(aig, remainder, "r");
+  return aig;
+}
+
+net::aig_network make_sqrt(uint32_t width)
+{
+  if (width % 2u != 0u) {
+    throw std::invalid_argument{"make_sqrt: width must be even"};
+  }
+  aig_network aig;
+  const auto x = make_pis(aig, width, "x");
+  const uint32_t half = width / 2u;
+  // Digit-by-digit (restoring) square root over a width+2 scratch.
+  const uint32_t w = width + 2u;
+  std::vector<signal> rem(w, aig.get_constant(false));
+  std::vector<signal> root(half, aig.get_constant(false));
+  for (uint32_t step = 0; step < half; ++step) {
+    // Shift remainder left by two, bring in the next two input bits.
+    for (uint32_t i = w; i-- > 2u;) {
+      rem[i] = rem[i - 2u];
+    }
+    rem[1] = x[width - 1u - 2u * step];
+    rem[0] = x[width - 2u - 2u * step];
+    // Trial subtrahend: (root << 2) | 01.
+    std::vector<signal> trial(w, aig.get_constant(false));
+    trial[0] = aig.get_constant(true);
+    for (uint32_t i = 0; i < half; ++i) {
+      if (i + 2u < w) {
+        trial[i + 2u] = root[i];
+      }
+    }
+    const adder_result diff = subtract_vectors(aig, rem, trial);
+    const signal fits = diff.carry;
+    rem = mux_vectors(aig, fits, diff.sum, rem);
+    // Shift root left, insert the new digit.
+    for (uint32_t i = half; i-- > 1u;) {
+      root[i] = root[i - 1u];
+    }
+    root[0] = fits;
+  }
+  make_pos(aig, root, "r");
+  return aig;
+}
+
+net::aig_network make_hypotenuse(uint32_t width)
+{
+  aig_network aig;
+  const auto a = make_pis(aig, width, "a");
+  const auto b = make_pis(aig, width, "b");
+  const auto a2 = multiply_vectors(aig, a, a);
+  const auto b2 = multiply_vectors(aig, b, b);
+  const adder_result sum =
+      add_vectors(aig, a2, b2, aig.get_constant(false));
+  std::vector<signal> total = sum.sum;
+  total.push_back(sum.carry);
+  total.push_back(aig.get_constant(false)); // even width for sqrt
+  make_pos(aig, total, "h");
+  return aig;
+}
+
+net::aig_network make_max(uint32_t width)
+{
+  aig_network aig;
+  const auto a = make_pis(aig, width, "a");
+  const auto b = make_pis(aig, width, "b");
+  const signal a_less = less_than(aig, a, b);
+  make_pos(aig, mux_vectors(aig, a_less, b, a), "m");
+  return aig;
+}
+
+net::aig_network make_log2(uint32_t width_log2)
+{
+  aig_network aig;
+  const uint32_t width = 1u << width_log2;
+  const auto x = make_pis(aig, width, "x");
+  // Priority encoder of the leading one.
+  // seen[i] = OR of x[width-1..i]; out bit b = OR over i with bit b set of
+  // (x[i] & !seen[i+1]).
+  std::vector<signal> none_above(width, aig.get_constant(false));
+  signal seen = aig.get_constant(false);
+  for (uint32_t i = width; i-- > 0;) {
+    none_above[i] = !seen;
+    seen = aig.create_or(seen, x[i]);
+  }
+  for (uint32_t b = 0; b < width_log2; ++b) {
+    signal out = aig.get_constant(false);
+    for (uint32_t i = 0; i < width; ++i) {
+      if ((i >> b) & 1u) {
+        out = aig.create_or(out, aig.create_and(x[i], none_above[i]));
+      }
+    }
+    aig.create_po(out, "l" + std::to_string(b));
+  }
+  aig.create_po(seen, "valid");
+  return aig;
+}
+
+net::aig_network make_sin(uint32_t width)
+{
+  aig_network aig;
+  const auto x = make_pis(aig, width, "x");
+  // Cubic odd-polynomial approximation sin(x) ≈ x - x^3/6 in fixed point:
+  // y = x - (x*x*x >> (2*width - 3)) truncated back to width bits.  The
+  // point is the circuit family (chained array multipliers + adder), not
+  // numerics.
+  const auto x2 = multiply_vectors(aig, x, x);
+  const std::vector<signal> x2_hi(x2.end() - width, x2.end());
+  const auto x3 = multiply_vectors(aig, x2_hi, x);
+  std::vector<signal> x3_scaled(x3.end() - width, x3.end());
+  // Divide by ~8 (shift right 3) as the /6 stand-in.
+  std::vector<signal> sixth(width, aig.get_constant(false));
+  for (uint32_t i = 0; i + 3u < width; ++i) {
+    sixth[i] = x3_scaled[i + 3u];
+  }
+  const adder_result diff = subtract_vectors(aig, x, sixth);
+  make_pos(aig, diff.sum, "y");
+  return aig;
+}
+
+} // namespace stps::gen

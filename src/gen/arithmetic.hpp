@@ -1,0 +1,86 @@
+/// \file arithmetic.hpp
+/// \brief Generators for arithmetic circuit families (EPFL-style).
+///
+/// The EPFL arithmetic suite (adder, bar, div, hyp, log2, max,
+/// multiplier, sin, sqrt, square) is not shipped with this repository;
+/// these constructors build the same circuit *families* from scratch at
+/// configurable widths, which is what the simulation benchmarks of
+/// Table I exercise (node count, level structure, and function mix
+/// determine simulation cost).  All generators are deterministic.
+#pragma once
+
+#include "network/aig.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stps::gen {
+
+/// Ripple-carry adder: 2n PIs + carry-in, n+1 POs.
+net::aig_network make_adder(uint32_t width);
+
+/// Barrel (logarithmic) shifter: n data + log2(n) shift PIs, n POs.
+net::aig_network make_barrel_shifter(uint32_t width_log2);
+
+/// Array multiplier: 2n PIs, 2n POs.
+net::aig_network make_multiplier(uint32_t width);
+
+/// Squarer: n PIs, 2n POs (multiplier with tied operands).
+net::aig_network make_square(uint32_t width);
+
+/// Restoring divider: 2n PIs (dividend, divisor), 2n POs (quotient,
+/// remainder).
+net::aig_network make_divider(uint32_t width);
+
+/// Restoring square root: n PIs, n/2 POs.
+net::aig_network make_sqrt(uint32_t width);
+
+/// Hypotenuse sqrt(a^2+b^2): 2n PIs, n+2 POs.
+net::aig_network make_hypotenuse(uint32_t width);
+
+/// Two-operand unsigned maximum: 2n PIs, n POs.
+net::aig_network make_max(uint32_t width);
+
+/// Integer log2 (position of leading one): n PIs, log2(n) POs.
+net::aig_network make_log2(uint32_t width_log2);
+
+/// Fixed-point sine approximation via cubic polynomial (Horner with
+/// array multipliers): n PIs, n POs.
+net::aig_network make_sin(uint32_t width);
+
+/// \name Building blocks shared by the generators
+/// \{
+struct adder_result
+{
+  std::vector<net::signal> sum;
+  net::signal carry;
+};
+
+/// Ripple-carry addition of equal-width vectors inside \p aig.
+adder_result add_vectors(net::aig_network& aig,
+                         const std::vector<net::signal>& a,
+                         const std::vector<net::signal>& b,
+                         net::signal carry_in);
+
+/// a - b (two's complement); `carry` is the borrow-free flag (a >= b).
+adder_result subtract_vectors(net::aig_network& aig,
+                              const std::vector<net::signal>& a,
+                              const std::vector<net::signal>& b);
+
+/// Unsigned comparison a < b.
+net::signal less_than(net::aig_network& aig,
+                      const std::vector<net::signal>& a,
+                      const std::vector<net::signal>& b);
+
+/// Word-wide mux: s ? a : b, element-wise.
+std::vector<net::signal> mux_vectors(net::aig_network& aig, net::signal s,
+                                     const std::vector<net::signal>& a,
+                                     const std::vector<net::signal>& b);
+
+/// Array multiplication returning 2n product bits.
+std::vector<net::signal> multiply_vectors(net::aig_network& aig,
+                                          const std::vector<net::signal>& a,
+                                          const std::vector<net::signal>& b);
+/// \}
+
+} // namespace stps::gen

@@ -1,0 +1,208 @@
+#include "gen/benchmarks.hpp"
+
+#include "gen/arithmetic.hpp"
+#include "gen/random_logic.hpp"
+#include "gen/redundancy.hpp"
+
+#include <stdexcept>
+
+namespace stps::gen {
+
+std::vector<std::string> epfl_names()
+{
+  return {"adder",      "bar",  "div",      "hyp",      "log2",
+          "max",        "multiplier", "sin",  "sqrt",     "square",
+          "arbiter",    "cavlc", "ctrl",    "dec",      "i2c",
+          "int2float",  "mem_ctrl", "priority", "router", "voter"};
+}
+
+net::aig_network make_epfl(const std::string& name)
+{
+  // Arithmetic family, widths scaled for laptop-time benchmarking.
+  if (name == "adder") {
+    return make_adder(128u);
+  }
+  if (name == "bar") {
+    return make_barrel_shifter(7u); // 128-bit barrel shifter
+  }
+  if (name == "div") {
+    return make_divider(24u);
+  }
+  if (name == "hyp") {
+    return make_hypotenuse(24u);
+  }
+  if (name == "log2") {
+    return make_log2(7u);
+  }
+  if (name == "max") {
+    return make_max(96u);
+  }
+  if (name == "multiplier") {
+    return make_multiplier(28u);
+  }
+  if (name == "sin") {
+    return make_sin(20u);
+  }
+  if (name == "sqrt") {
+    return make_sqrt(32u);
+  }
+  if (name == "square") {
+    return make_square(28u);
+  }
+  // Control family.
+  if (name == "arbiter") {
+    return make_arbiter(96u);
+  }
+  if (name == "cavlc") {
+    return make_random_logic({10u, 11u, 700u, 0xca71cu, 30u});
+  }
+  if (name == "ctrl") {
+    return make_random_logic({7u, 26u, 180u, 0xc791u, 25u});
+  }
+  if (name == "dec") {
+    return make_decoder(8u);
+  }
+  if (name == "i2c") {
+    return make_random_logic({140u, 128u, 1300u, 0x12cu, 15u});
+  }
+  if (name == "int2float") {
+    return make_random_logic({11u, 7u, 260u, 0x1f10a7u, 20u});
+  }
+  if (name == "mem_ctrl") {
+    return make_random_logic({512u, 500u, 9000u, 0x3e3c791u, 12u});
+  }
+  if (name == "priority") {
+    return make_priority(128u);
+  }
+  if (name == "router") {
+    return make_random_logic({60u, 30u, 280u, 0x707e6u, 18u});
+  }
+  if (name == "voter") {
+    return make_voter(400u);
+  }
+  throw std::invalid_argument{"make_epfl: unknown benchmark " + name};
+}
+
+std::vector<named_benchmark> epfl_suite()
+{
+  std::vector<named_benchmark> suite;
+  for (const std::string& name : epfl_names()) {
+    suite.push_back({name, make_epfl(name)});
+  }
+  return suite;
+}
+
+std::vector<std::string> sweep_names()
+{
+  return {"6s100",       "6s20",    "6s203b41",   "6s281b35", "6s342rb122",
+          "6s350rb46",   "6s382r",  "6s392r",     "beemfwt4b1",
+          "beemfwt5b3",  "oski15a07b0s", "oski2b1i", "b18", "b19", "leon2"};
+}
+
+namespace {
+
+struct sweep_recipe
+{
+  enum class base_kind
+  {
+    random,
+    adder,
+    multiplier,
+    barrel,
+    voter
+  };
+  base_kind kind = base_kind::random;
+  random_logic_config random{};
+  uint32_t width = 0;
+  redundancy_config redundancy{};
+};
+
+sweep_recipe recipe_for(const std::string& name)
+{
+  // Scaled stand-ins: gate budgets in the low thousands, redundancy
+  // density a few percent (§I), seeds fixed per benchmark so every run
+  // sees identical circuits.
+  sweep_recipe r;
+  using K = sweep_recipe::base_kind;
+  if (name == "6s100") {
+    r.random = {96u, 80u, 6000u, 0x65100u, 18u};
+    r.redundancy = {5u, 8u, 0x65100u, 160u};
+  } else if (name == "6s20") {
+    r.random = {48u, 40u, 3000u, 0x6520u, 35u};
+    r.redundancy = {6u, 4u, 0x6520u, 90u};
+  } else if (name == "6s203b41") {
+    r.random = {80u, 70u, 4500u, 0x65203u, 15u};
+    r.redundancy = {3u, 6u, 0x65203u, 40u};
+  } else if (name == "6s281b35") {
+    r.random = {128u, 110u, 9000u, 0x65281u, 20u};
+    r.redundancy = {6u, 10u, 0x65281u, 300u};
+  } else if (name == "6s342rb122") {
+    r.random = {64u, 60u, 3200u, 0x65342u, 12u};
+    r.redundancy = {3u, 4u, 0x65342u, 30u};
+  } else if (name == "6s350rb46") {
+    r.random = {100u, 95u, 7000u, 0x65350u, 10u};
+    r.redundancy = {2u, 4u, 0x65350u, 40u};
+  } else if (name == "6s382r") {
+    r.random = {90u, 85u, 8000u, 0x65382u, 30u};
+    r.redundancy = {5u, 8u, 0x65382u, 120u};
+  } else if (name == "6s392r") {
+    r.random = {85u, 80u, 7500u, 0x65392u, 14u};
+    r.redundancy = {3u, 6u, 0x65392u, 80u};
+  } else if (name == "beemfwt4b1") {
+    r.kind = K::adder;
+    r.width = 48u;
+    r.redundancy = {10u, 8u, 0xbee4u, 100u};
+  } else if (name == "beemfwt5b3") {
+    r.kind = K::barrel;
+    r.width = 6u;
+    r.redundancy = {12u, 10u, 0xbee5u, 140u};
+  } else if (name == "oski15a07b0s") {
+    r.kind = K::multiplier;
+    r.width = 16u;
+    r.redundancy = {10u, 8u, 0x5c15u, 180u};
+  } else if (name == "oski2b1i") {
+    r.kind = K::voter;
+    r.width = 220u;
+    r.redundancy = {14u, 10u, 0x5c2bu, 220u};
+  } else if (name == "b18") {
+    r.random = {60u, 50u, 3800u, 0xb18u, 16u};
+    r.redundancy = {4u, 6u, 0xb18u, 70u};
+  } else if (name == "b19") {
+    r.random = {70u, 60u, 7600u, 0xb19u, 16u};
+    r.redundancy = {4u, 8u, 0xb19u, 150u};
+  } else if (name == "leon2") {
+    r.random = {150u, 140u, 10000u, 0x1e02u, 10u};
+    r.redundancy = {2u, 6u, 0x1e02u, 200u};
+  } else {
+    throw std::invalid_argument{"make_sweep_benchmark: unknown " + name};
+  }
+  return r;
+}
+
+} // namespace
+
+net::aig_network make_sweep_benchmark(const std::string& name)
+{
+  const sweep_recipe r = recipe_for(name);
+  net::aig_network base;
+  using K = sweep_recipe::base_kind;
+  switch (r.kind) {
+    case K::random: base = make_random_logic(r.random); break;
+    case K::adder: base = make_adder(r.width); break;
+    case K::multiplier: base = make_multiplier(r.width); break;
+    case K::barrel: base = make_barrel_shifter(r.width); break;
+    case K::voter: base = make_voter(r.width); break;
+  }
+  return inject_redundancy(base, r.redundancy);
+}
+
+std::vector<named_benchmark> sweep_suite()
+{
+  std::vector<named_benchmark> suite;
+  for (const std::string& name : sweep_names()) {
+    suite.push_back({name, make_sweep_benchmark(name)});
+  }
+  return suite;
+}
+
+} // namespace stps::gen

@@ -1,0 +1,40 @@
+/// \file benchmarks.hpp
+/// \brief Named benchmark suites mirroring the paper's evaluation.
+///
+/// * `epfl_suite()` — the 20 EPFL benchmark names of Table I, each built
+///   by the matching generator family at a width chosen so the whole
+///   suite simulates in laptop time (the paper's absolute sizes need the
+///   original files; shapes and relative costs are preserved).
+/// * `sweep_suite()` — the 15 HWMCC'15/IWLS'05 names of Table II, each a
+///   base circuit with injected redundancy (see redundancy.hpp), scaled
+///   down from the paper's 30k-2M gate instances.
+#pragma once
+
+#include "network/aig.hpp"
+
+#include <string>
+#include <vector>
+
+namespace stps::gen {
+
+struct named_benchmark
+{
+  std::string name;
+  net::aig_network aig;
+};
+
+/// All Table I benchmark names, in the paper's order.
+std::vector<std::string> epfl_names();
+/// Builds one EPFL-like benchmark by name; throws on unknown names.
+net::aig_network make_epfl(const std::string& name);
+/// Builds the full suite.
+std::vector<named_benchmark> epfl_suite();
+
+/// All Table II benchmark names, in the paper's order.
+std::vector<std::string> sweep_names();
+/// Builds one sweeping benchmark by name; throws on unknown names.
+net::aig_network make_sweep_benchmark(const std::string& name);
+/// Builds the full suite.
+std::vector<named_benchmark> sweep_suite();
+
+} // namespace stps::gen

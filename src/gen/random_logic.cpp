@@ -1,0 +1,188 @@
+#include "gen/random_logic.hpp"
+
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace stps::gen {
+
+namespace {
+
+using net::aig_network;
+using net::signal;
+
+} // namespace
+
+net::aig_network make_random_logic(const random_logic_config& config)
+{
+  aig_network aig;
+  std::mt19937_64 rng{config.seed};
+  std::vector<signal> pool;
+  pool.reserve(config.num_pis + config.num_gates);
+  for (uint32_t i = 0; i < config.num_pis; ++i) {
+    pool.push_back(aig.create_pi("x" + std::to_string(i)));
+  }
+
+  const auto pick = [&]() {
+    // Locality bias: prefer recent signals, occasionally reach back.
+    const std::size_t n = pool.size();
+    std::size_t index;
+    if (rng() % 4u == 0u) {
+      index = rng() % n;
+    } else {
+      const std::size_t window = std::max<std::size_t>(8u, n / 4u);
+      const std::size_t lo = n > window ? n - window : 0u;
+      index = lo + rng() % (n - lo);
+    }
+    signal s{pool[index]};
+    if (rng() & 1u) {
+      s = !s;
+    }
+    return s;
+  };
+
+  while (aig.num_gates() < config.num_gates) {
+    const signal a = pick();
+    const signal b = pick();
+    signal g;
+    if (rng() % 100u < config.xor_percent) {
+      g = aig.create_xor(a, b);
+    } else {
+      g = aig.create_and(a, b);
+    }
+    if (!aig.is_constant(g.get_node())) {
+      pool.push_back(g);
+    }
+  }
+
+  // POs: prefer deep signals so most of the network is live.
+  const uint32_t pos = config.num_pos;
+  for (uint32_t i = 0; i < pos; ++i) {
+    const std::size_t n = pool.size();
+    const std::size_t lo = n > n / 3u ? n - n / 3u : 0u;
+    const std::size_t index = lo + rng() % (n - lo);
+    signal s{pool[index]};
+    if (rng() & 1u) {
+      s = !s;
+    }
+    aig.create_po(s, "y" + std::to_string(i));
+  }
+  return aig;
+}
+
+net::aig_network make_decoder(uint32_t address_bits)
+{
+  if (address_bits > 12u) {
+    throw std::invalid_argument{"make_decoder: too many address bits"};
+  }
+  aig_network aig;
+  std::vector<signal> addr;
+  for (uint32_t i = 0; i < address_bits; ++i) {
+    addr.push_back(aig.create_pi("a" + std::to_string(i)));
+  }
+  const uint32_t outputs = 1u << address_bits;
+  for (uint32_t code = 0; code < outputs; ++code) {
+    signal line = aig.get_constant(true);
+    for (uint32_t b = 0; b < address_bits; ++b) {
+      const signal bit = (code >> b) & 1u ? addr[b] : !addr[b];
+      line = aig.create_and(line, bit);
+    }
+    aig.create_po(line, "d" + std::to_string(code));
+  }
+  return aig;
+}
+
+net::aig_network make_priority(uint32_t width)
+{
+  aig_network aig;
+  std::vector<signal> req;
+  for (uint32_t i = 0; i < width; ++i) {
+    req.push_back(aig.create_pi("r" + std::to_string(i)));
+  }
+  signal any_higher = aig.get_constant(false);
+  std::vector<signal> grant(width, aig.get_constant(false));
+  for (uint32_t i = width; i-- > 0;) {
+    grant[i] = aig.create_and(req[i], !any_higher);
+    any_higher = aig.create_or(any_higher, req[i]);
+  }
+  for (uint32_t i = 0; i < width; ++i) {
+    aig.create_po(grant[i], "g" + std::to_string(i));
+  }
+  aig.create_po(any_higher, "valid");
+  return aig;
+}
+
+net::aig_network make_voter(uint32_t width)
+{
+  aig_network aig;
+  std::vector<signal> a;
+  std::vector<signal> b;
+  std::vector<signal> c;
+  for (uint32_t i = 0; i < width; ++i) {
+    a.push_back(aig.create_pi("a" + std::to_string(i)));
+  }
+  for (uint32_t i = 0; i < width; ++i) {
+    b.push_back(aig.create_pi("b" + std::to_string(i)));
+  }
+  for (uint32_t i = 0; i < width; ++i) {
+    c.push_back(aig.create_pi("c" + std::to_string(i)));
+  }
+  // Bitwise triple-modular majority, then a tree of wide majorities.
+  std::vector<signal> level;
+  for (uint32_t i = 0; i < width; ++i) {
+    level.push_back(aig.create_maj(a[i], b[i], c[i]));
+    aig.create_po(level.back(), "m" + std::to_string(i));
+  }
+  while (level.size() >= 3u) {
+    std::vector<signal> next;
+    for (std::size_t i = 0; i + 2u < level.size(); i += 3u) {
+      next.push_back(aig.create_maj(level[i], level[i + 1u], level[i + 2u]));
+    }
+    for (std::size_t i = level.size() - level.size() % 3u; i < level.size();
+         ++i) {
+      next.push_back(level[i]);
+    }
+    if (next.size() == level.size()) {
+      break;
+    }
+    level = std::move(next);
+  }
+  aig.create_po(level.front(), "decision");
+  return aig;
+}
+
+net::aig_network make_arbiter(uint32_t width)
+{
+  aig_network aig;
+  std::vector<signal> req;
+  std::vector<signal> mask;
+  for (uint32_t i = 0; i < width; ++i) {
+    req.push_back(aig.create_pi("r" + std::to_string(i)));
+  }
+  for (uint32_t i = 0; i < width; ++i) {
+    mask.push_back(aig.create_pi("m" + std::to_string(i)));
+  }
+  // Masked requests win first; otherwise fall back to raw priority.
+  std::vector<signal> masked;
+  for (uint32_t i = 0; i < width; ++i) {
+    masked.push_back(aig.create_and(req[i], mask[i]));
+  }
+  signal any_masked = aig.get_constant(false);
+  for (const signal s : masked) {
+    any_masked = aig.create_or(any_masked, s);
+  }
+  signal higher_m = aig.get_constant(false);
+  signal higher_r = aig.get_constant(false);
+  for (uint32_t i = width; i-- > 0;) {
+    const signal grant_m = aig.create_and(masked[i], !higher_m);
+    const signal grant_r = aig.create_and(req[i], !higher_r);
+    higher_m = aig.create_or(higher_m, masked[i]);
+    higher_r = aig.create_or(higher_r, req[i]);
+    aig.create_po(aig.create_mux(any_masked, grant_m, grant_r),
+                  "g" + std::to_string(i));
+  }
+  return aig;
+}
+
+} // namespace stps::gen

@@ -1,0 +1,48 @@
+/// \file random_logic.hpp
+/// \brief Structured random control logic and the named control
+/// benchmarks of the EPFL suite.
+///
+/// Control circuits (arbiter, cavlc, ctrl, i2c, mem_ctrl, router, …) are
+/// approximated by seeded layered random AIGs with matching PI/PO/gate
+/// budgets, plus exact constructions where the function is canonical
+/// (decoder, priority chain, majority voter, round-robin arbiter).
+#pragma once
+
+#include "network/aig.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace stps::gen {
+
+struct random_logic_config
+{
+  uint32_t num_pis = 32;
+  uint32_t num_pos = 32;
+  uint32_t num_gates = 1000;
+  uint64_t seed = 7;
+  /// Fraction (0-100) of XOR-like gates; XOR-rich logic is harder for
+  /// both simulators and SAT, like the EPFL control benchmarks.
+  uint32_t xor_percent = 20;
+};
+
+/// Layered random AIG: each new gate picks two earlier signals with a
+/// locality bias, so depth and fanout distribution resemble synthesized
+/// control logic.
+net::aig_network make_random_logic(const random_logic_config& config);
+
+/// Full n-to-2^n decoder (EPFL "dec").
+net::aig_network make_decoder(uint32_t address_bits);
+
+/// Priority chain (EPFL "priority"): request vector to one-hot grant,
+/// highest index wins.
+net::aig_network make_priority(uint32_t width);
+
+/// Majority voter over \p width replicated triples (EPFL "voter" style:
+/// wide majority trees).
+net::aig_network make_voter(uint32_t width);
+
+/// Round-robin-ish arbiter: mask chain + priority (EPFL "arbiter" style).
+net::aig_network make_arbiter(uint32_t width);
+
+} // namespace stps::gen

@@ -1,0 +1,163 @@
+#include "gen/redundancy.hpp"
+
+#include "network/traversal.hpp"
+
+#include <random>
+#include <span>
+#include <vector>
+
+namespace stps::gen {
+
+namespace {
+
+using net::aig_network;
+using net::signal;
+
+} // namespace
+
+net::aig_network inject_redundancy(const net::aig_network& base,
+                                   const redundancy_config& config)
+{
+  aig_network out;
+  std::mt19937_64 rng{config.seed};
+
+  std::vector<signal> map(base.size(), signal{0});
+  std::vector<signal> alt(base.size(), signal{0});
+  std::vector<bool> has_alt(base.size(), false);
+  map[0] = out.get_constant(false);
+
+  std::vector<signal> pool; // sources for mux selectors
+  base.foreach_pi([&](net::node n) {
+    map[n] = out.create_pi(base.pi_name(n - 1u));
+    pool.push_back(map[n]);
+  });
+
+  // Resolves a base fanin to the copy or (sometimes) its rewrite, so both
+  // stay live through disjoint fanout edges.
+  const auto resolve = [&](signal f) {
+    const net::node n = f.get_node();
+    signal s = has_alt[n] && (rng() & 1u) ? alt[n] : map[n];
+    return f.is_complemented() ? !s : s;
+  };
+
+  base.foreach_gate([&](net::node n) {
+    const signal a = base.fanin0(n);
+    const signal b = base.fanin1(n);
+    const signal ma = a.is_complemented() ? !map[a.get_node()]
+                                          : map[a.get_node()];
+    const signal mb = b.is_complemented() ? !map[b.get_node()]
+                                          : map[b.get_node()];
+    map[n] = out.create_and(ma, mb);
+    pool.push_back(map[n]);
+
+    if (rng() % 100u >= config.duplicate_percent) {
+      return;
+    }
+    // Build a functionally identical, structurally different node.
+    signal rewritten;
+    switch (rng() % 3u) {
+      case 0u:
+        // Absorption: (a·b) · (a+b) == a·b.
+        rewritten = out.create_and(map[n], out.create_or(ma, mb));
+        break;
+      case 1u: {
+        // Mux duplication: c ? f : f == f, with an arbitrary selector.
+        const signal sel = pool[rng() % pool.size()];
+        rewritten = out.create_mux(sel, map[n], map[n]);
+        break;
+      }
+      default: {
+        // Cone rebuild over rewritten fanins (differs structurally as
+        // soon as a fanin has an alternate).
+        const signal ra = has_alt[a.get_node()]
+                              ? (a.is_complemented() ? !alt[a.get_node()]
+                                                     : alt[a.get_node()])
+                              : ma;
+        const signal rb = has_alt[b.get_node()]
+                              ? (b.is_complemented() ? !alt[b.get_node()]
+                                                     : alt[b.get_node()])
+                              : mb;
+        rewritten = out.create_and(out.create_and(ra, rb),
+                                   out.create_or(ra, !rb));
+        break;
+      }
+    }
+    if (rewritten.get_node() != map[n].get_node()) {
+      alt[n] = rewritten;
+      has_alt[n] = true;
+    }
+  });
+
+  // Near-duplicates: f' = f ∨ (one minterm of f's support).  Observable
+  // through a dedicated XOR-tree output so sweeping must consider them.
+  std::vector<signal> observers;
+  if (config.near_duplicates > 0u) {
+    std::vector<net::node> gates;
+    base.foreach_gate([&](net::node n) { gates.push_back(n); });
+    std::vector<net::node> sup;
+    uint32_t planted = 0;
+    for (std::size_t attempt = 0;
+         attempt < gates.size() * 2u && planted < config.near_duplicates;
+         ++attempt) {
+      const net::node n = gates[rng() % gates.size()];
+      const net::node target = map[n].get_node();
+      if (!out.is_and(target)) {
+        continue;
+      }
+      // Support must be wide enough that ~2^10 random patterns miss the
+      // planted minterm (so the pair survives initial simulation as a
+      // false candidate), yet narrow enough for the "< 16 leaves"
+      // exhaustive window of §IV-A to resolve it without SAT.
+      if (!net::bounded_support(out, std::span<const net::node>{&target, 1u},
+                                14u, sup) ||
+          sup.size() < 12u) {
+        continue;
+      }
+      // One random minterm over the support.
+      signal minterm = out.get_constant(true);
+      for (const net::node pi : sup) {
+        const signal bit{pi, (rng() & 1u) != 0u};
+        minterm = out.create_and(minterm, bit);
+      }
+      const signal sibling = out.create_or(map[n], minterm);
+      observers.push_back(out.create_xor(sibling, map[n]));
+      ++planted;
+    }
+  }
+
+  // Hidden constants: XOR of two differently associated parity trees.
+  std::vector<signal> hidden;
+  for (uint32_t i = 0; i < config.hidden_constants && pool.size() >= 3u;
+       ++i) {
+    const signal x = pool[rng() % pool.size()];
+    const signal y = pool[rng() % pool.size()];
+    const signal z = pool[rng() % pool.size()];
+    const signal p1 = out.create_xor(out.create_xor(x, y), z);
+    const signal p2 = out.create_xor(x, out.create_xor(y, z));
+    const signal zero = out.create_xor(p1, p2); // constant 0, hidden
+    if (!out.is_constant(zero.get_node())) {
+      hidden.push_back(zero);
+    }
+  }
+
+  std::size_t next_hidden = 0;
+  base.foreach_po([&](signal f, uint32_t index) {
+    signal driver = resolve(f);
+    if (next_hidden < hidden.size()) {
+      // po · !const0 == po: function preserved, structure obscured.
+      driver = out.create_and(driver, !hidden[next_hidden++]);
+    }
+    out.create_po(driver, base.po_name(index));
+  });
+  if (!observers.empty()) {
+    // One extra output keeps every near-duplicate observable.
+    signal tree = out.get_constant(false);
+    for (const signal s : observers) {
+      tree = out.create_xor(tree, s);
+    }
+    out.create_po(tree, "near_dup_observer");
+  }
+  return out;
+}
+
+} // namespace stps::gen

@@ -1,0 +1,54 @@
+/// \file redundancy.hpp
+/// \brief Redundancy injection: the sweeping workloads of Table II.
+///
+/// The HWMCC'15 / IWLS'05 circuits the paper sweeps contain functionally
+/// equivalent nodes at a density of a few percent (§I: "the equivalence
+/// class usually contains a few percent of the total gates in a valid
+/// merge").  This generator reproduces that regime from scratch: while
+/// copying a base circuit it rewrites sampled cones into structurally
+/// different but functionally identical forms (absorption `f = f·(a+b)`,
+/// mux duplication `f = c?f:f`, and re-built cones over already-rewritten
+/// fanins) and redirects a random subset of fanout edges to the rewrite —
+/// so structural hashing cannot collapse the pair, but SAT sweeping can.
+/// It also plants *hidden constants* (XOR of two differently associated
+/// parity trees) that gate POs, exercising constant propagation
+/// (Alg. 2 line 3).
+#pragma once
+
+#include "network/aig.hpp"
+
+#include <cstdint>
+
+namespace stps::gen {
+
+struct redundancy_config
+{
+  /// Percent (0-100) of gates duplicated under a rewrite.
+  uint32_t duplicate_percent = 5;
+  /// Hidden constant-0 nodes planted and ANDed into POs.
+  uint32_t hidden_constants = 8;
+  /// Near-duplicates planted: for sampled gates f with small support, a
+  /// sibling f' = f ∨ minterm is added (observable through an extra XOR
+  /// output).  f' agrees with f everywhere except one assignment of f's
+  /// support, so random simulation groups the pair into a *false*
+  /// equivalence candidate that only a counter-example (or an exhaustive
+  /// window, §IV-A) can split — the population behind the paper's
+  /// satisfiable-SAT-call gap in Table II.
+  uint32_t near_duplicates = 0;
+  uint64_t seed = 42;
+
+  redundancy_config() = default;
+  redundancy_config(uint32_t dup_percent, uint32_t hidden, uint64_t s,
+                    uint32_t near = 0)
+      : duplicate_percent{dup_percent}, hidden_constants{hidden},
+        near_duplicates{near}, seed{s}
+  {
+  }
+};
+
+/// Returns a network PO-equivalent to \p base but containing redundant
+/// equivalent pairs and hidden constants.
+net::aig_network inject_redundancy(const net::aig_network& base,
+                                   const redundancy_config& config);
+
+} // namespace stps::gen

@@ -1,0 +1,230 @@
+#include "io/aiger.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace stps::io {
+
+namespace {
+
+/// Compacted AIGER literal map: dead nodes are skipped, so variable
+/// indices are dense (1..I for PIs, then gates in topological order).
+struct literal_map
+{
+  std::vector<uint32_t> var_of; // node → aiger variable (0 = const)
+  uint32_t num_ands = 0;
+
+  explicit literal_map(const net::aig_network& aig)
+      : var_of(aig.size(), 0u)
+  {
+    uint32_t next = 1;
+    aig.foreach_pi([&](net::node n) { var_of[n] = next++; });
+    aig.foreach_gate([&](net::node n) {
+      var_of[n] = next++;
+      ++num_ands;
+    });
+  }
+
+  uint32_t literal(net::signal f) const
+  {
+    return 2u * var_of[f.get_node()] + (f.is_complemented() ? 1u : 0u);
+  }
+};
+
+void encode_delta(std::ostream& os, uint32_t delta)
+{
+  while (delta >= 0x80u) {
+    os.put(static_cast<char>(0x80u | (delta & 0x7fu)));
+    delta >>= 7u;
+  }
+  os.put(static_cast<char>(delta));
+}
+
+uint32_t decode_delta(std::istream& is)
+{
+  uint32_t value = 0;
+  uint32_t shift = 0;
+  for (;;) {
+    const int c = is.get();
+    if (c < 0) {
+      throw std::runtime_error{"aiger: truncated binary section"};
+    }
+    value |= static_cast<uint32_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      return value;
+    }
+    shift += 7u;
+  }
+}
+
+struct header
+{
+  uint64_t m = 0, i = 0, l = 0, o = 0, a = 0;
+  bool binary = false;
+};
+
+header read_header(std::istream& is)
+{
+  std::string magic;
+  is >> magic;
+  header h;
+  if (magic == "aig") {
+    h.binary = true;
+  } else if (magic != "aag") {
+    throw std::runtime_error{"aiger: bad magic '" + magic + "'"};
+  }
+  if (!(is >> h.m >> h.i >> h.l >> h.o >> h.a)) {
+    throw std::runtime_error{"aiger: bad header"};
+  }
+  is.ignore(1); // the newline after the header
+  return h;
+}
+
+} // namespace
+
+void write_aiger_ascii(const net::aig_network& aig, std::ostream& os)
+{
+  const literal_map map{aig};
+  const uint32_t m = aig.num_pis() + map.num_ands;
+  os << "aag " << m << ' ' << aig.num_pis() << " 0 " << aig.num_pos() << ' '
+     << map.num_ands << '\n';
+  aig.foreach_pi([&](net::node n) {
+    os << map.literal(net::signal{n, false}) << '\n';
+  });
+  aig.foreach_po([&](net::signal f, uint32_t) {
+    os << map.literal(f) << '\n';
+  });
+  aig.foreach_gate([&](net::node n) {
+    os << map.literal(net::signal{n, false}) << ' '
+       << map.literal(aig.fanin0(n)) << ' ' << map.literal(aig.fanin1(n))
+       << '\n';
+  });
+}
+
+void write_aiger_binary(const net::aig_network& aig, std::ostream& os)
+{
+  const literal_map map{aig};
+  const uint32_t m = aig.num_pis() + map.num_ands;
+  os << "aig " << m << ' ' << aig.num_pis() << " 0 " << aig.num_pos() << ' '
+     << map.num_ands << '\n';
+  aig.foreach_po([&](net::signal f, uint32_t) {
+    os << map.literal(f) << '\n';
+  });
+  aig.foreach_gate([&](net::node n) {
+    const uint32_t lhs = map.literal(net::signal{n, false});
+    uint32_t rhs0 = map.literal(aig.fanin0(n));
+    uint32_t rhs1 = map.literal(aig.fanin1(n));
+    if (rhs0 < rhs1) {
+      std::swap(rhs0, rhs1);
+    }
+    encode_delta(os, lhs - rhs0);
+    encode_delta(os, rhs0 - rhs1);
+  });
+}
+
+net::aig_network read_aiger(std::istream& is)
+{
+  const header h = read_header(is);
+  net::aig_network aig;
+
+  // signal per AIGER variable (latch outputs become PIs).
+  std::vector<net::signal> var(h.m + 1u, aig.get_constant(false));
+  const auto to_signal = [&](uint64_t lit) {
+    if (lit / 2u > h.m) {
+      throw std::runtime_error{"aiger: literal out of range"};
+    }
+    const net::signal s = var[lit / 2u];
+    return (lit & 1u) ? !s : s;
+  };
+
+  std::vector<uint64_t> output_lits;
+  std::vector<std::pair<uint64_t, uint64_t>> latch_defs;
+
+  if (h.binary) {
+    for (uint64_t i = 0; i < h.i; ++i) {
+      var[1u + i] = aig.create_pi();
+    }
+    for (uint64_t l = 0; l < h.l; ++l) {
+      var[1u + h.i + l] = aig.create_pi(); // latch output as PI
+      std::string line;
+      std::getline(is, line); // latch next-state literal, ignored
+    }
+    for (uint64_t o = 0; o < h.o; ++o) {
+      std::string line;
+      std::getline(is, line);
+      output_lits.push_back(std::stoull(line));
+    }
+    for (uint64_t a = 0; a < h.a; ++a) {
+      const uint64_t lhs = 2u * (1u + h.i + h.l + a);
+      const uint64_t delta0 = decode_delta(is);
+      const uint64_t delta1 = decode_delta(is);
+      const uint64_t rhs0 = lhs - delta0;
+      const uint64_t rhs1 = rhs0 - delta1;
+      var[lhs / 2u] = aig.create_and(to_signal(rhs0), to_signal(rhs1));
+    }
+  } else {
+    for (uint64_t i = 0; i < h.i; ++i) {
+      uint64_t lit = 0;
+      is >> lit;
+      if (lit % 2u != 0u) {
+        throw std::runtime_error{"aiger: complemented input"};
+      }
+      var[lit / 2u] = aig.create_pi();
+    }
+    for (uint64_t l = 0; l < h.l; ++l) {
+      uint64_t lit = 0, next = 0;
+      is >> lit >> next;
+      var[lit / 2u] = aig.create_pi();
+      latch_defs.emplace_back(lit, next);
+    }
+    for (uint64_t o = 0; o < h.o; ++o) {
+      uint64_t lit = 0;
+      is >> lit;
+      output_lits.push_back(lit);
+    }
+    // ASCII AND definitions are topologically sorted (lhs > rhs), so one
+    // pass suffices.
+    for (uint64_t a = 0; a < h.a; ++a) {
+      uint64_t lhs = 0, rhs0 = 0, rhs1 = 0;
+      is >> lhs >> rhs0 >> rhs1;
+      var[lhs / 2u] = aig.create_and(to_signal(rhs0), to_signal(rhs1));
+    }
+  }
+
+  for (const uint64_t lit : output_lits) {
+    aig.create_po(to_signal(lit));
+  }
+  return aig;
+}
+
+void write_aiger_ascii(const net::aig_network& aig, const std::string& path)
+{
+  std::ofstream os{path};
+  if (!os) {
+    throw std::runtime_error{"cannot open " + path};
+  }
+  write_aiger_ascii(aig, os);
+}
+
+void write_aiger_binary(const net::aig_network& aig, const std::string& path)
+{
+  std::ofstream os{path, std::ios::binary};
+  if (!os) {
+    throw std::runtime_error{"cannot open " + path};
+  }
+  write_aiger_binary(aig, os);
+}
+
+net::aig_network read_aiger(const std::string& path)
+{
+  std::ifstream is{path, std::ios::binary};
+  if (!is) {
+    throw std::runtime_error{"cannot open " + path};
+  }
+  return read_aiger(is);
+}
+
+} // namespace stps::io

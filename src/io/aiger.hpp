@@ -1,0 +1,30 @@
+/// \file aiger.hpp
+/// \brief AIGER format reader/writer (ASCII `aag` and binary `aig`).
+///
+/// The paper's benchmark suites (HWMCC'15, IWLS'05, EPFL) ship as AIGER
+/// files; this module lets the tools exchange circuits with ABC,
+/// mockturtle, and the original suites.  Combinational subset: latches
+/// are read as additional PIs (their outputs) and their inputs dropped —
+/// the standard combinational-frame view SAT sweepers operate on.
+#pragma once
+
+#include "network/aig.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace stps::io {
+
+/// Writes \p aig in ASCII AIGER (aag) format.
+void write_aiger_ascii(const net::aig_network& aig, std::ostream& os);
+void write_aiger_ascii(const net::aig_network& aig, const std::string& path);
+
+/// Writes \p aig in binary AIGER (aig) format.
+void write_aiger_binary(const net::aig_network& aig, std::ostream& os);
+void write_aiger_binary(const net::aig_network& aig, const std::string& path);
+
+/// Reads either AIGER flavour (dispatches on the header word).
+net::aig_network read_aiger(std::istream& is);
+net::aig_network read_aiger(const std::string& path);
+
+} // namespace stps::io

@@ -1,0 +1,75 @@
+#include "io/bench.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace stps::io {
+
+namespace {
+
+std::string node_ref(const net::aig_network& aig, net::node n)
+{
+  if (aig.is_constant(n)) {
+    return "GND";
+  }
+  if (aig.is_pi(n)) {
+    return "I" + std::to_string(n);
+  }
+  return "G" + std::to_string(n);
+}
+
+} // namespace
+
+void write_bench(const net::aig_network& aig, std::ostream& os)
+{
+  aig.foreach_pi([&](net::node n) {
+    os << "INPUT(" << node_ref(aig, n) << ")\n";
+  });
+  aig.foreach_po([&](net::signal, uint32_t index) {
+    os << "OUTPUT(O" << index << ")\n";
+  });
+
+  // Constant nets (BENCH has no literals; synthesize GND from any input,
+  // or leave it dangling for input-free netlists — tools treat undriven
+  // GND as 0).
+  if (aig.num_pis() > 0u) {
+    const std::string i0 = node_ref(aig, aig.pi_at(0u));
+    os << "GND_INV = NOT(" << i0 << ")\n";
+    os << "GND = AND(" << i0 << ", GND_INV)\n";
+  }
+
+  // Inverters on demand, once per complemented node reference.
+  std::unordered_map<uint32_t, std::string> inverted;
+  const auto ref = [&](net::signal f) -> std::string {
+    const std::string base = node_ref(aig, f.get_node());
+    if (!f.is_complemented()) {
+      return base;
+    }
+    auto [it, inserted] = inverted.emplace(f.get_node(), base + "_n");
+    if (inserted) {
+      os << it->second << " = NOT(" << base << ")\n";
+    }
+    return it->second;
+  };
+
+  aig.foreach_gate([&](net::node n) {
+    os << node_ref(aig, n) << " = AND(" << ref(aig.fanin0(n)) << ", "
+       << ref(aig.fanin1(n)) << ")\n";
+  });
+  aig.foreach_po([&](net::signal f, uint32_t index) {
+    os << "O" << index << " = BUFF(" << ref(f) << ")\n";
+  });
+}
+
+void write_bench(const net::aig_network& aig, const std::string& path)
+{
+  std::ofstream os{path};
+  if (!os) {
+    throw std::runtime_error{"cannot open " + path};
+  }
+  write_bench(aig, os);
+}
+
+} // namespace stps::io

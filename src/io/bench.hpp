@@ -1,0 +1,19 @@
+/// \file bench.hpp
+/// \brief BENCH (ISCAS) writer for AIGs.
+///
+/// BENCH is the minimal gate-list format many academic tools accept;
+/// every AND gate becomes `n = AND(a, b)` with explicit `NOT` lines for
+/// complemented edges.
+#pragma once
+
+#include "network/aig.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace stps::io {
+
+void write_bench(const net::aig_network& aig, std::ostream& os);
+void write_bench(const net::aig_network& aig, const std::string& path);
+
+} // namespace stps::io

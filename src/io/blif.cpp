@@ -1,0 +1,283 @@
+#include "io/blif.hpp"
+
+#include "network/convert.hpp"
+
+#include "tt/operations.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace stps::io {
+
+namespace {
+
+using knode = net::klut_network::node;
+
+std::string node_name(const net::klut_network& klut, knode n)
+{
+  if (n == klut.get_constant(false)) {
+    return "const0";
+  }
+  if (n == klut.get_constant(true)) {
+    return "const1";
+  }
+  if (klut.is_pi(n)) {
+    return "pi" + std::to_string(n - 2u);
+  }
+  return "n" + std::to_string(n);
+}
+
+} // namespace
+
+void write_blif(const net::klut_network& klut, std::ostream& os,
+                const std::string& model_name)
+{
+  os << ".model " << model_name << '\n';
+  os << ".inputs";
+  klut.foreach_pi([&](knode n) { os << ' ' << node_name(klut, n); });
+  os << '\n';
+  os << ".outputs";
+  klut.foreach_po([&](knode, uint32_t index) { os << " po" << index; });
+  os << '\n';
+
+  // Constants (only if referenced).
+  os << ".names const0\n"; // empty cover = constant 0
+  os << ".names const1\n1\n";
+
+  klut.foreach_gate([&](knode n) {
+    os << ".names";
+    for (const knode f : klut.fanins(n)) {
+      os << ' ' << node_name(klut, f);
+    }
+    os << ' ' << node_name(klut, n) << '\n';
+    const auto& table = klut.table(n);
+    const uint32_t k = table.num_vars();
+    for (uint64_t row = 0; row < table.num_bits(); ++row) {
+      if (!table.bit(row)) {
+        continue;
+      }
+      for (uint32_t b = 0; b < k; ++b) {
+        os << (((row >> b) & 1u) ? '1' : '0');
+      }
+      os << " 1\n";
+    }
+  });
+
+  klut.foreach_po([&](knode n, uint32_t index) {
+    // Buffer from the driver to the named output.
+    os << ".names " << node_name(klut, n) << " po" << index << "\n1 1\n";
+  });
+  os << ".end\n";
+}
+
+void write_blif(const net::klut_network& klut, const std::string& path,
+                const std::string& model_name)
+{
+  std::ofstream os{path};
+  if (!os) {
+    throw std::runtime_error{"cannot open " + path};
+  }
+  write_blif(klut, os, model_name);
+}
+
+void write_blif(const net::aig_network& aig, std::ostream& os,
+                const std::string& model_name)
+{
+  write_blif(net::aig_to_klut(aig).klut, os, model_name);
+}
+
+} // namespace stps::io
+
+namespace {
+
+using stps::net::klut_network;
+
+/// Splits a BLIF logical line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line)
+{
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    tokens.push_back(std::move(current));
+  }
+  return tokens;
+}
+
+/// Expands one cover row (possibly with '-') into the truth table.
+void apply_cover_row(stps::tt::truth_table& table, const std::string& row,
+                     bool value)
+{
+  const uint32_t k = table.num_vars();
+  if (row.size() != k) {
+    throw std::runtime_error{"blif: cover row arity mismatch"};
+  }
+  // Enumerate all completions of the don't-care positions.
+  std::vector<uint32_t> dashes;
+  uint64_t base = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    switch (row[i]) {
+      case '1': base |= uint64_t{1} << i; break;
+      case '0': break;
+      case '-': dashes.push_back(i); break;
+      default: throw std::runtime_error{"blif: bad cover character"};
+    }
+  }
+  const uint64_t combos = uint64_t{1} << dashes.size();
+  for (uint64_t d = 0; d < combos; ++d) {
+    uint64_t index = base;
+    for (std::size_t j = 0; j < dashes.size(); ++j) {
+      if ((d >> j) & 1u) {
+        index |= uint64_t{1} << dashes[j];
+      }
+    }
+    table.set_bit(index, value);
+  }
+}
+
+} // namespace
+
+namespace stps::io {
+
+net::klut_network read_blif(std::istream& is)
+{
+  klut_network klut;
+  std::unordered_map<std::string, klut_network::node> by_name;
+  std::vector<std::string> output_names;
+
+  // Pending .names block, flushed when the next directive arrives.
+  std::vector<std::string> names_header;
+  std::vector<std::pair<std::string, bool>> cover_rows;
+
+  const auto flush_names = [&]() {
+    if (names_header.empty()) {
+      return;
+    }
+    const std::string& target = names_header.back();
+    const uint32_t k = static_cast<uint32_t>(names_header.size() - 1u);
+    tt::truth_table table{k};
+    // Determine polarity: all rows must agree (ON-set or OFF-set).
+    bool off_set = false;
+    if (!cover_rows.empty()) {
+      off_set = !cover_rows.front().second;
+      for (const auto& [row, value] : cover_rows) {
+        if (value == off_set) {
+          throw std::runtime_error{"blif: mixed ON/OFF cover"};
+        }
+      }
+    }
+    if (off_set) {
+      table = tt::make_const1(k);
+    }
+    for (const auto& [row, value] : cover_rows) {
+      apply_cover_row(table, row, value);
+    }
+    std::vector<klut_network::node> fanins;
+    for (std::size_t i = 0; i + 1u < names_header.size(); ++i) {
+      const auto it = by_name.find(names_header[i]);
+      if (it == by_name.end()) {
+        throw std::runtime_error{"blif: undefined signal " +
+                                 names_header[i]};
+      }
+      fanins.push_back(it->second);
+    }
+    by_name[target] = k == 0u
+                          ? klut.get_constant(table.bit(0u))
+                          : klut.create_node(fanins, std::move(table));
+    names_header.clear();
+    cover_rows.clear();
+  };
+
+  std::string line;
+  std::string pending;
+  while (std::getline(is, line)) {
+    // Continuation lines.
+    if (!line.empty() && line.back() == '\\') {
+      pending += line.substr(0, line.size() - 1u) + " ";
+      continue;
+    }
+    line = pending + line;
+    pending.clear();
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '#') {
+      continue;
+    }
+    if (tokens[0] == ".model") {
+      continue;
+    }
+    if (tokens[0] == ".inputs") {
+      flush_names();
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        by_name[tokens[i]] = klut.create_pi(tokens[i]);
+      }
+      continue;
+    }
+    if (tokens[0] == ".outputs") {
+      flush_names();
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        output_names.push_back(tokens[i]);
+      }
+      continue;
+    }
+    if (tokens[0] == ".names") {
+      flush_names();
+      names_header.assign(tokens.begin() + 1, tokens.end());
+      if (names_header.empty()) {
+        throw std::runtime_error{"blif: .names without target"};
+      }
+      continue;
+    }
+    if (tokens[0] == ".end") {
+      break;
+    }
+    if (tokens[0][0] == '.') {
+      throw std::runtime_error{"blif: unsupported directive " + tokens[0]};
+    }
+    // Cover row: "<inputs> <value>" or a bare value for constants.
+    if (names_header.empty()) {
+      throw std::runtime_error{"blif: cover row outside .names"};
+    }
+    if (tokens.size() == 1u) {
+      cover_rows.emplace_back(std::string{}, tokens[0] == "1");
+    } else if (tokens.size() == 2u) {
+      cover_rows.emplace_back(tokens[0], tokens[1] == "1");
+    } else {
+      throw std::runtime_error{"blif: malformed cover row"};
+    }
+  }
+  flush_names();
+
+  for (const std::string& name : output_names) {
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error{"blif: undriven output " + name};
+    }
+    klut.create_po(it->second, name);
+  }
+  return klut;
+}
+
+net::klut_network read_blif(const std::string& path)
+{
+  std::ifstream is{path};
+  if (!is) {
+    throw std::runtime_error{"cannot open " + path};
+  }
+  return read_blif(is);
+}
+
+} // namespace stps::io

@@ -1,0 +1,32 @@
+/// \file blif.hpp
+/// \brief BLIF writer for k-LUT networks (and AIGs via conversion).
+///
+/// BLIF is the interchange format LUT-mapped networks use with ABC and
+/// mockturtle (`read_blif` / `write_blif`); each gate becomes one
+/// `.names` block whose cover rows are the ON-set of its truth table.
+#pragma once
+
+#include "network/aig.hpp"
+#include "network/klut.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace stps::io {
+
+void write_blif(const net::klut_network& klut, std::ostream& os,
+                const std::string& model_name = "stps");
+void write_blif(const net::klut_network& klut, const std::string& path,
+                const std::string& model_name = "stps");
+
+void write_blif(const net::aig_network& aig, std::ostream& os,
+                const std::string& model_name = "stps");
+
+/// Reads a combinational BLIF model into a k-LUT network.  Supports
+/// `.model/.inputs/.outputs/.names/.end`, multi-line continuations
+/// (trailing `\`), don't-care `-` input columns, and both ON-set ("1")
+/// and OFF-set ("0") cover rows (mixed covers are rejected, as in sis).
+net::klut_network read_blif(std::istream& is);
+net::klut_network read_blif(const std::string& path);
+
+} // namespace stps::io

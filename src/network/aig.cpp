@@ -1,0 +1,351 @@
+#include "network/aig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace stps::net {
+
+namespace {
+
+/// Normalizes an AND fanin pair to lit order (hashing canonical form).
+void normalize(signal& a, signal& b) noexcept
+{
+  if (a.lit > b.lit) {
+    std::swap(a, b);
+  }
+}
+
+} // namespace
+
+aig_network::aig_network()
+{
+  nodes_.emplace_back(); // constant-zero node, id 0
+  fanouts_.emplace_back();
+}
+
+signal aig_network::get_constant(bool value) const noexcept
+{
+  return signal{0u, value};
+}
+
+signal aig_network::create_pi(std::string name)
+{
+  if (num_gates_ != 0u) {
+    throw std::logic_error{"create_pi: PIs must precede gates"};
+  }
+  nodes_.emplace_back();
+  fanouts_.emplace_back();
+  ++num_pis_;
+  pi_names_.push_back(std::move(name));
+  return signal{static_cast<node>(nodes_.size() - 1u), false};
+}
+
+signal aig_network::create_and(signal a, signal b)
+{
+  normalize(a, b);
+  // Trivial reductions.
+  if (a.lit == 0u) {
+    return get_constant(false); // 0 · b
+  }
+  if (a.lit == 1u) {
+    return b; // 1 · b
+  }
+  if (a == b) {
+    return a;
+  }
+  if (a.lit == (b.lit ^ 1u)) {
+    return get_constant(false); // b̄ · b
+  }
+  const uint64_t key = hash_key(a, b);
+  if (const auto it = hash_.find(key); it != hash_.end()) {
+    ++strash_hits_;
+    return signal{it->second, false};
+  }
+  const node n = static_cast<node>(nodes_.size());
+  and_node gate;
+  gate.fanin[0] = a;
+  gate.fanin[1] = b;
+  nodes_.push_back(gate);
+  fanouts_.emplace_back();
+  fanouts_[a.get_node()].push_back(n);
+  fanouts_[b.get_node()].push_back(n);
+  hash_.emplace(key, n);
+  ++num_gates_;
+  return signal{n, false};
+}
+
+signal aig_network::create_nand(signal a, signal b)
+{
+  return !create_and(a, b);
+}
+
+signal aig_network::create_or(signal a, signal b)
+{
+  return !create_and(!a, !b);
+}
+
+signal aig_network::create_nor(signal a, signal b)
+{
+  return create_and(!a, !b);
+}
+
+signal aig_network::create_xor(signal a, signal b)
+{
+  return !create_and(!create_and(a, !b), !create_and(!a, b));
+}
+
+signal aig_network::create_xnor(signal a, signal b)
+{
+  return !create_xor(a, b);
+}
+
+signal aig_network::create_mux(signal s, signal t, signal e)
+{
+  return !create_and(!create_and(s, t), !create_and(!s, e));
+}
+
+signal aig_network::create_maj(signal a, signal b, signal c)
+{
+  return create_or(create_and(a, b),
+                   create_or(create_and(a, c), create_and(b, c)));
+}
+
+uint32_t aig_network::create_po(signal f, std::string name)
+{
+  pos_.push_back(f);
+  po_names_.push_back(std::move(name));
+  return static_cast<uint32_t>(pos_.size() - 1u);
+}
+
+const std::string& aig_network::pi_name(uint32_t index) const
+{
+  return pi_names_.at(index);
+}
+
+const std::string& aig_network::po_name(uint32_t index) const
+{
+  return po_names_.at(index);
+}
+
+uint32_t aig_network::fanout_size(node n) const
+{
+  uint32_t count = static_cast<uint32_t>(fanouts_.at(n).size());
+  for (const signal& po : pos_) {
+    if (po.get_node() == n) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void aig_network::foreach_pi(const std::function<void(node)>& fn) const
+{
+  for (node n = 1u; n <= num_pis_; ++n) {
+    fn(n);
+  }
+}
+
+void aig_network::foreach_po(
+    const std::function<void(signal, uint32_t)>& fn) const
+{
+  for (uint32_t i = 0; i < pos_.size(); ++i) {
+    fn(pos_[i], i);
+  }
+}
+
+void aig_network::foreach_gate(const std::function<void(node)>& fn) const
+{
+  // Live-node ids remain topologically sorted: gates are created after
+  // their fanins and substitutions always rewire to smaller ids.
+  for (node n = num_pis_ + 1u; n < nodes_.size(); ++n) {
+    if (!nodes_[n].dead) {
+      fn(n);
+    }
+  }
+}
+
+uint64_t aig_network::hash_key(signal a, signal b) noexcept
+{
+  return (uint64_t{a.lit} << 32u) | b.lit;
+}
+
+void aig_network::unhash(node n)
+{
+  const auto& gate = nodes_[n];
+  signal a = gate.fanin[0];
+  signal b = gate.fanin[1];
+  normalize(a, b);
+  const auto it = hash_.find(hash_key(a, b));
+  if (it != hash_.end() && it->second == n) {
+    hash_.erase(it);
+  }
+}
+
+void aig_network::remove_fanout(node from, node gate)
+{
+  auto& list = fanouts_[from];
+  const auto it = std::find(list.begin(), list.end(), gate);
+  if (it != list.end()) {
+    list.erase(it);
+  }
+}
+
+uint32_t aig_network::substitute_node(node old_node, signal replacement)
+{
+  std::vector<std::pair<node, signal>> queue;
+  queue.emplace_back(old_node, replacement);
+  uint32_t died = 0;
+
+  // Resolves a signal through the chain of already-substituted nodes.
+  std::vector<signal> repl(nodes_.size(), signal{0});
+  std::vector<bool> has_repl(nodes_.size(), false);
+  const auto resolve = [&](signal s) {
+    while (has_repl[s.get_node()]) {
+      const bool c = s.is_complemented();
+      s = repl[s.get_node()];
+      if (c) {
+        s = !s;
+      }
+    }
+    return s;
+  };
+
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const node o = queue[qi].first;
+    if (nodes_[o].dead) {
+      continue;
+    }
+    const signal r = resolve(queue[qi].second);
+    if (r.get_node() == o) {
+      continue;
+    }
+    if (!is_and(o)) {
+      throw std::logic_error{"substitute_node: only AND gates can die"};
+    }
+    // Topological invariant: we only ever rewire to strictly earlier ids
+    // (or constants); the sweepers guarantee this by merging the later
+    // node onto the earlier one.
+    assert(r.get_node() < o);
+
+    unhash(o);
+    nodes_[o].dead = true;
+    repl[o] = r;
+    has_repl[o] = true;
+    ++died;
+
+    for (signal& po : pos_) {
+      if (po.get_node() == o) {
+        po = po.is_complemented() ? !r : r;
+      }
+    }
+
+    const std::vector<node> outs = fanouts_[o];
+    fanouts_[o].clear();
+    for (const node g : outs) {
+      if (nodes_[g].dead) {
+        continue;
+      }
+      unhash(g);
+      signal f0 = nodes_[g].fanin[0];
+      signal f1 = nodes_[g].fanin[1];
+      const signal other = f0.get_node() == o ? f1 : f0;
+      if (f0.get_node() == o) {
+        f0 = f0.is_complemented() ? !r : r;
+      }
+      if (f1.get_node() == o) {
+        f1 = f1.is_complemented() ? !r : r;
+      }
+      normalize(f0, f1);
+
+      // Trivial reductions expose a merge of g itself.
+      if (f0.lit == 0u || f0.lit == (f1.lit ^ 1u)) {
+        remove_fanout(other.get_node(), g);
+        queue.emplace_back(g, get_constant(false));
+        nodes_[g].fanin[0] = f0;
+        nodes_[g].fanin[1] = f1;
+        continue;
+      }
+      if (f0.lit == 1u || f0 == f1) {
+        remove_fanout(other.get_node(), g);
+        queue.emplace_back(g, f0.lit == 1u ? f1 : f0);
+        nodes_[g].fanin[0] = f0;
+        nodes_[g].fanin[1] = f1;
+        continue;
+      }
+
+      const uint64_t key = hash_key(f0, f1);
+      if (const auto it = hash_.find(key); it != hash_.end() && it->second != g) {
+        // Structural duplicate: merge the later of (g, holder) onto the
+        // earlier to preserve the id-order invariant.
+        const node h = it->second;
+        nodes_[g].fanin[0] = f0;
+        nodes_[g].fanin[1] = f1;
+        fanouts_[r.get_node()].push_back(g);
+        if (h < g) {
+          remove_fanout(other.get_node(), g);
+          remove_fanout(r.get_node(), g);
+          queue.emplace_back(g, signal{h, false});
+        } else {
+          hash_.erase(it);
+          hash_.emplace(key, g);
+          queue.emplace_back(h, signal{g, false});
+        }
+        continue;
+      }
+
+      nodes_[g].fanin[0] = f0;
+      nodes_[g].fanin[1] = f1;
+      hash_.emplace(key, g);
+      fanouts_[r.get_node()].push_back(g);
+    }
+  }
+
+  num_gates_ -= died;
+  return died;
+}
+
+uint32_t aig_network::cleanup_dangling()
+{
+  std::vector<bool> reachable(nodes_.size(), false);
+  std::vector<node> stack;
+  reachable[0] = true;
+  for (node n = 1u; n <= num_pis_; ++n) {
+    reachable[n] = true;
+  }
+  for (const signal& po : pos_) {
+    if (!reachable[po.get_node()]) {
+      reachable[po.get_node()] = true;
+      stack.push_back(po.get_node());
+    }
+  }
+  while (!stack.empty()) {
+    const node n = stack.back();
+    stack.pop_back();
+    for (const signal f : {nodes_[n].fanin[0], nodes_[n].fanin[1]}) {
+      if (!reachable[f.get_node()]) {
+        reachable[f.get_node()] = true;
+        if (is_and(f.get_node())) {
+          stack.push_back(f.get_node());
+        }
+      }
+    }
+  }
+
+  uint32_t died = 0;
+  for (node n = static_cast<node>(nodes_.size()); n-- > num_pis_ + 1u;) {
+    if (nodes_[n].dead || reachable[n]) {
+      continue;
+    }
+    unhash(n);
+    remove_fanout(nodes_[n].fanin[0].get_node(), n);
+    remove_fanout(nodes_[n].fanin[1].get_node(), n);
+    fanouts_[n].clear();
+    nodes_[n].dead = true;
+    ++died;
+  }
+  num_gates_ -= died;
+  return died;
+}
+
+} // namespace stps::net

@@ -1,0 +1,151 @@
+/// \file aig.hpp
+/// \brief And-Inverter Graph with structural hashing and node substitution.
+///
+/// The AIG is the working representation of both sweepers (§IV) and the
+/// `TA` rows of Table I.  Nodes are addressed by dense ids; *signals* are
+/// literals `2*node + complement`.  Node 0 is the constant zero.  The
+/// network maintains:
+///
+///   * a structural hash (one-level strashing with the four trivial AND
+///     reductions), so equal-structure gates are never duplicated;
+///   * fanout lists, required by `substitute_node` — the FRAIG "replace"
+///     operation that rewires all fanouts of a proven-equivalent node and
+///     cascades any merges the rewiring exposes;
+///   * dead flags: substituted or unreferenced gates stay in the id space
+///     (ids are never recycled) but are excluded from counts & traversals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stps::net {
+
+/// Dense node id; 0 is the constant-zero node.
+using node = uint32_t;
+
+/// Signal: a node with optional complement, encoded as literal 2n+c.
+struct signal
+{
+  uint32_t lit = 0;
+
+  signal() = default;
+  constexpr explicit signal(uint32_t literal) noexcept : lit{literal} {}
+  constexpr signal(node n, bool complemented) noexcept
+      : lit{(n << 1u) | (complemented ? 1u : 0u)}
+  {
+  }
+
+  constexpr node get_node() const noexcept { return lit >> 1u; }
+  constexpr bool is_complemented() const noexcept { return lit & 1u; }
+  constexpr signal operator!() const noexcept { return signal{lit ^ 1u}; }
+  constexpr signal operator+() const noexcept { return signal{lit & ~1u}; }
+  constexpr bool operator==(const signal&) const noexcept = default;
+};
+
+/// And-Inverter Graph.
+class aig_network
+{
+public:
+  aig_network();
+
+  /// \name Construction
+  /// \{
+  signal get_constant(bool value) const noexcept;
+  signal create_pi(std::string name = {});
+  /// Strashed AND with the trivial reductions (a·0=0, a·1=a, a·a=a,
+  /// a·¬a=0).
+  signal create_and(signal a, signal b);
+  signal create_nand(signal a, signal b);
+  signal create_or(signal a, signal b);
+  signal create_nor(signal a, signal b);
+  signal create_xor(signal a, signal b);
+  signal create_xnor(signal a, signal b);
+  /// if s then t else e.
+  signal create_mux(signal s, signal t, signal e);
+  signal create_maj(signal a, signal b, signal c);
+  uint32_t create_po(signal f, std::string name = {});
+  /// \}
+
+  /// \name Structure queries
+  /// \{
+  /// Total id count, including constant, PIs, and dead nodes.
+  std::size_t size() const noexcept { return nodes_.size(); }
+  uint32_t num_pis() const noexcept { return num_pis_; }
+  uint32_t num_pos() const noexcept
+  {
+    return static_cast<uint32_t>(pos_.size());
+  }
+  /// Live AND gates only.
+  uint32_t num_gates() const noexcept { return num_gates_; }
+
+  bool is_constant(node n) const noexcept { return n == 0u; }
+  bool is_pi(node n) const noexcept { return n >= 1u && n <= num_pis_; }
+  bool is_and(node n) const noexcept
+  {
+    return n > num_pis_ && n < nodes_.size();
+  }
+  bool is_dead(node n) const noexcept { return nodes_[n].dead; }
+
+  signal fanin0(node n) const noexcept { return nodes_[n].fanin[0]; }
+  signal fanin1(node n) const noexcept { return nodes_[n].fanin[1]; }
+
+  node pi_at(uint32_t index) const noexcept { return 1u + index; }
+  signal po_at(uint32_t index) const { return pos_.at(index); }
+  const std::string& pi_name(uint32_t index) const;
+  const std::string& po_name(uint32_t index) const;
+
+  /// Gate fanout nodes (live gates whose fanin references \p n).
+  const std::vector<node>& fanout(node n) const { return fanouts_.at(n); }
+  /// Fanout size counting POs as one reference each.
+  uint32_t fanout_size(node n) const;
+  /// \}
+
+  /// \name Iteration (live nodes only)
+  /// \{
+  void foreach_pi(const std::function<void(node)>& fn) const;
+  void foreach_po(const std::function<void(signal, uint32_t)>& fn) const;
+  void foreach_gate(const std::function<void(node)>& fn) const;
+  /// \}
+
+  /// \name Rewriting
+  /// \{
+  /// Replaces every reference to \p old_node with \p replacement, updating
+  /// the structural hash and cascading any merges this exposes (the FRAIG
+  /// replace).  \p old_node becomes dead.  Returns the number of gates
+  /// that died (including cascades).
+  uint32_t substitute_node(node old_node, signal replacement);
+
+  /// Marks gates unreachable from any PO dead.  Returns how many died.
+  uint32_t cleanup_dangling();
+  /// \}
+
+  /// Monotonically increasing count of structural-hash hits (diagnostics).
+  uint64_t strash_hits() const noexcept { return strash_hits_; }
+
+private:
+  struct and_node
+  {
+    signal fanin[2] = {signal{0}, signal{0}};
+    bool dead = false;
+  };
+
+  static uint64_t hash_key(signal a, signal b) noexcept;
+  void unhash(node n);
+  void rehash_or_merge(node n, std::vector<std::pair<node, signal>>& queue);
+  void remove_fanout(node from, node gate);
+
+  std::vector<and_node> nodes_;
+  std::vector<std::vector<node>> fanouts_;
+  std::vector<signal> pos_;
+  std::vector<std::string> pi_names_;
+  std::vector<std::string> po_names_;
+  std::unordered_map<uint64_t, node> hash_;
+  uint32_t num_pis_ = 0;
+  uint32_t num_gates_ = 0;
+  uint64_t strash_hits_ = 0;
+};
+
+} // namespace stps::net

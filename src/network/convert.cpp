@@ -1,0 +1,46 @@
+#include "network/convert.hpp"
+
+namespace stps::net {
+
+aig_to_klut_result aig_to_klut(const aig_network& aig)
+{
+  aig_to_klut_result result;
+  result.node_map.assign(aig.size(), 0u);
+  result.node_map[0] = result.klut.get_constant(false);
+  aig.foreach_pi([&](node n) {
+    result.node_map[n] = result.klut.create_pi(aig.pi_name(n - 1u));
+  });
+
+  // AND truth tables with fanin complements folded in (var0 = fanin0).
+  const tt::truth_table and_tables[4] = {
+      tt::truth_table{2u, {0x8ull}}, //  a ·  b  (minterm 3)
+      tt::truth_table{2u, {0x4ull}}, // ¬a ·  b  (minterm 2: a=0, b=1)
+      tt::truth_table{2u, {0x2ull}}, //  a · ¬b  (minterm 1: a=1, b=0)
+      tt::truth_table{2u, {0x1ull}}, // ¬a · ¬b  (minterm 0)
+  };
+  aig.foreach_gate([&](node n) {
+    const signal a = aig.fanin0(n);
+    const signal b = aig.fanin1(n);
+    const klut_network::node fis[2] = {result.node_map[a.get_node()],
+                                       result.node_map[b.get_node()]};
+    const auto& table = and_tables[(a.is_complemented() ? 1u : 0u) |
+                                   (b.is_complemented() ? 2u : 0u)];
+    result.node_map[n] = result.klut.create_node(fis, table);
+  });
+
+  aig.foreach_po([&](signal f, uint32_t index) {
+    klut_network::node source = result.node_map[f.get_node()];
+    if (f.is_complemented()) {
+      if (aig.is_constant(f.get_node())) {
+        source = result.klut.get_constant(true);
+      } else {
+        const klut_network::node fis[1] = {source};
+        source = result.klut.create_node(fis, tt::truth_table{1u, {0x1ull}});
+      }
+    }
+    result.klut.create_po(source, aig.po_name(index));
+  });
+  return result;
+}
+
+} // namespace stps::net

@@ -1,0 +1,28 @@
+/// \file convert.hpp
+/// \brief Structure-preserving AIG → k-LUT conversion.
+///
+/// Each AND gate (with its edge complements folded into the table)
+/// becomes one 2-input LUT; complemented POs gain an inverter LUT.  This
+/// is the 1:1 view the STP sweeper collapses with tree cuts (§IV-A) and
+/// the reference conversion tests compare the mapper against.
+#pragma once
+
+#include "network/aig.hpp"
+#include "network/klut.hpp"
+
+#include <vector>
+
+namespace stps::net {
+
+struct aig_to_klut_result
+{
+  klut_network klut;
+  /// AIG node id → klut node id (valid for constant, PIs, live gates).
+  std::vector<klut_network::node> node_map;
+  /// klut value is the AIG node's value (complements folded into gates,
+  /// so the polarity always matches).
+};
+
+aig_to_klut_result aig_to_klut(const aig_network& aig);
+
+} // namespace stps::net

@@ -1,0 +1,51 @@
+/// \file traversal.hpp
+/// \brief Topological orders, levels, and transitive fanin/fanout queries
+/// over the AIG.
+///
+/// Algorithm 2 of the paper traverses gates in *reverse* topological
+/// order (line 4), bounds merge candidates by the transitive fanin with a
+/// node limit `n = 1000` (line 13), and the STP refinement sorts
+/// equivalence classes topologically (line 11).  These helpers provide
+/// exactly those queries.
+#pragma once
+
+#include "network/aig.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stps::net {
+
+/// Live gates in topological (fanin-before-fanout) order.
+std::vector<node> topo_order(const aig_network& aig);
+
+/// Live gates in reverse topological order (POs towards PIs).
+std::vector<node> reverse_topo_order(const aig_network& aig);
+
+/// Logic level of every node (PIs/constant at 0); dead nodes get 0.
+std::vector<uint32_t> levels(const aig_network& aig);
+
+/// Depth of the network: maximum PO level.
+uint32_t depth(const aig_network& aig);
+
+/// Transitive fanin of \p root (excluding \p root itself), truncated to at
+/// most \p limit nodes; includes PIs.  Order is DFS discovery order.
+std::vector<node> transitive_fanin(const aig_network& aig, node root,
+                                   std::size_t limit);
+
+/// True iff \p descendant lies in the transitive fanout of \p ancestor —
+/// the acyclicity check a merge must pass before rewiring.
+bool in_transitive_fanout(const aig_network& aig, node ancestor,
+                          node descendant);
+
+/// Primary-input support of \p root (node ids of PIs in its TFI).
+std::vector<node> support(const aig_network& aig, node root);
+
+/// Union support of \p roots, abandoned (empty + false) as soon as it
+/// exceeds \p max_size — the "< 16 leaf" window test of §IV-A without
+/// paying for large cones.
+bool bounded_support(const aig_network& aig, std::span<const node> roots,
+                     std::size_t max_size, std::vector<node>& out);
+
+} // namespace stps::net

@@ -1,0 +1,64 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stps::sat {
+
+std::size_t load_dimacs(std::istream& is, solver& s)
+{
+  std::size_t clauses = 0;
+  std::vector<lit> clause;
+  std::string token;
+  while (is >> token) {
+    if (token == "c") {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    if (token == "p") {
+      std::string fmt;
+      uint64_t vars = 0, declared = 0;
+      if (!(is >> fmt >> vars >> declared) || fmt != "cnf") {
+        throw std::runtime_error{"dimacs: malformed problem line"};
+      }
+      while (s.num_vars() < vars) {
+        s.new_var();
+      }
+      continue;
+    }
+    const long long value = std::stoll(token);
+    if (value == 0) {
+      s.add_clause(clause);
+      clause.clear();
+      ++clauses;
+      continue;
+    }
+    const uint64_t v = static_cast<uint64_t>(value < 0 ? -value : value);
+    while (s.num_vars() < v) {
+      s.new_var();
+    }
+    clause.push_back(lit{static_cast<var>(v - 1u), value < 0});
+  }
+  if (!clause.empty()) {
+    throw std::runtime_error{"dimacs: clause missing terminating 0"};
+  }
+  return clauses;
+}
+
+void write_dimacs(std::ostream& os, uint32_t num_vars,
+                  const std::vector<std::vector<lit>>& clauses)
+{
+  os << "p cnf " << num_vars << ' ' << clauses.size() << '\n';
+  for (const auto& clause : clauses) {
+    for (const lit l : clause) {
+      os << (l.sign() ? "-" : "") << (l.variable() + 1u) << ' ';
+    }
+    os << "0\n";
+  }
+}
+
+} // namespace stps::sat

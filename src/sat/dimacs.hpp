@@ -1,0 +1,25 @@
+/// \file dimacs.hpp
+/// \brief DIMACS CNF import/export for the CDCL solver.
+///
+/// Lets the solver exchange problems with external tools (minisat,
+/// kissat) and lets tests replay standard instances.  `load_dimacs`
+/// creates solver variables on demand and returns the clause count.
+#pragma once
+
+#include "sat/solver.hpp"
+
+#include <iosfwd>
+#include <vector>
+
+namespace stps::sat {
+
+/// Parses DIMACS CNF from \p is into \p s; returns clauses added.
+/// Variables are mapped 1-based DIMACS → 0-based solver ids, extending
+/// the solver as needed.
+std::size_t load_dimacs(std::istream& is, solver& s);
+
+/// Writes \p clauses (solver literal encoding) as DIMACS CNF.
+void write_dimacs(std::ostream& os, uint32_t num_vars,
+                  const std::vector<std::vector<lit>>& clauses);
+
+} // namespace stps::sat

@@ -1,0 +1,126 @@
+#include "sat/encoder.hpp"
+
+#include <stdexcept>
+
+namespace stps::sat {
+
+aig_encoder::aig_encoder(const net::aig_network& aig, solver& s)
+    : aig_{aig}, solver_{s}, node_var_(aig.size(), 0u)
+{
+  const_var_ = solver_.new_var();
+  solver_.add_clause({lit{const_var_, true}}); // constant node is false
+  node_var_[0] = const_var_ + 1u;
+}
+
+lit aig_encoder::literal(net::signal f)
+{
+  const net::node root = f.get_node();
+  if (root >= node_var_.size()) {
+    node_var_.resize(aig_.size(), 0u);
+  }
+  if (node_var_[root] == 0u) {
+    // Encode the unencoded part of the cone bottom-up.
+    std::vector<net::node> stack{root};
+    while (!stack.empty()) {
+      const net::node n = stack.back();
+      if (node_var_[n] != 0u) {
+        stack.pop_back();
+        continue;
+      }
+      if (aig_.is_pi(n)) {
+        node_var_[n] = solver_.new_var() + 1u;
+        stack.pop_back();
+        continue;
+      }
+      if (!aig_.is_and(n)) {
+        throw std::invalid_argument{"aig_encoder: dead or invalid node"};
+      }
+      const net::signal a = aig_.fanin0(n);
+      const net::signal b = aig_.fanin1(n);
+      const bool need_a = node_var_[a.get_node()] == 0u;
+      const bool need_b = node_var_[b.get_node()] == 0u;
+      if (need_a || need_b) {
+        if (need_a) {
+          stack.push_back(a.get_node());
+        }
+        if (need_b) {
+          stack.push_back(b.get_node());
+        }
+        continue;
+      }
+      const var vn = solver_.new_var();
+      node_var_[n] = vn + 1u;
+      ++encoded_count_;
+      const lit ln{vn, false};
+      const lit la{node_var_[a.get_node()] - 1u, a.is_complemented()};
+      const lit lb{node_var_[b.get_node()] - 1u, b.is_complemented()};
+      // n ↔ a ∧ b
+      solver_.add_clause({~ln, la});
+      solver_.add_clause({~ln, lb});
+      solver_.add_clause({ln, ~la, ~lb});
+      stack.pop_back();
+    }
+  }
+  return lit{node_var_[root] - 1u, f.is_complemented()};
+}
+
+lit aig_encoder::xor_output(lit a, lit b)
+{
+  const var vt = solver_.new_var();
+  const lit t{vt, false};
+  // t ↔ a ⊕ b
+  solver_.add_clause({~t, a, b});
+  solver_.add_clause({~t, ~a, ~b});
+  solver_.add_clause({t, ~a, b});
+  solver_.add_clause({t, a, ~b});
+  return t;
+}
+
+result aig_encoder::prove_equivalent(net::signal a, net::signal b,
+                                     bool complement, int64_t conflict_budget)
+{
+  const lit la = literal(a);
+  const lit lb = literal(b);
+  // a == b  iff  a ⊕ b is unsatisfiable; a == !b iff ¬(a ⊕ b) is.
+  const lit t = xor_output(la, lb);
+  const lit assumption = complement ? ~t : t;
+  return solver_.solve(std::span<const lit>{&assumption, 1u},
+                       conflict_budget);
+}
+
+result aig_encoder::prove_constant(net::signal f, bool value,
+                                   int64_t conflict_budget)
+{
+  // f == value is a tautology iff f == !value is unsatisfiable.
+  const lit lf = literal(f);
+  const lit assumption = value ? ~lf : lf;
+  return solver_.solve(std::span<const lit>{&assumption, 1u},
+                       conflict_budget);
+}
+
+std::vector<bool> aig_encoder::model_inputs() const
+{
+  std::vector<bool> inputs(aig_.num_pis(), false);
+  for (uint32_t i = 0; i < aig_.num_pis(); ++i) {
+    const net::node pi = aig_.pi_at(i);
+    if (node_var_[pi] != 0u) {
+      inputs[i] = solver_.model_value(node_var_[pi] - 1u);
+    }
+  }
+  return inputs;
+}
+
+std::optional<std::vector<bool>> aig_encoder::find_assignment(
+    net::signal f, bool value, int64_t conflict_budget)
+{
+  const lit lf = literal(f);
+  const lit assumption = value ? lf : ~lf;
+  const result r =
+      solver_.solve(std::span<const lit>{&assumption, 1u}, conflict_budget);
+  if (r != result::sat) {
+    return std::nullopt;
+  }
+  return model_inputs();
+}
+
+} // namespace stps::sat

@@ -1,0 +1,61 @@
+/// \file encoder.hpp
+/// \brief Incremental Tseitin encoding of AIG cones into the CDCL solver.
+///
+/// The sweepers pose many equivalence queries against one growing CNF
+/// (the circuit-based SAT integration of refs [4, 14]): each AIG node is
+/// encoded at most once (three clauses per AND), queries are solved under
+/// assumptions on lazily created XOR miter variables, and counter-example
+/// models are read back as PI assignments (Alg. 2 line 26).
+#pragma once
+
+#include "network/aig.hpp"
+#include "sat/solver.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace stps::sat {
+
+class aig_encoder
+{
+public:
+  /// The encoder keeps references; \p aig and \p s must outlive it.
+  /// Substitutions may kill encoded nodes — encoded clauses stay valid
+  /// because proven-equivalent literals are constrained equal anyway.
+  aig_encoder(const net::aig_network& aig, solver& s);
+
+  /// Solver literal of \p f, encoding its cone on demand.
+  lit literal(net::signal f);
+
+  /// Equivalence query: is `a == b` (when \p complement is false) or
+  /// `a == !b` (when true) a tautology?  `unsat` means proven equivalent;
+  /// `sat` leaves the counter-example readable via `model_inputs`;
+  /// `unknown` is a budget timeout (the paper's unDET).
+  result prove_equivalent(net::signal a, net::signal b, bool complement,
+                          int64_t conflict_budget);
+
+  /// Constant-ness query: is `f == value` a tautology?
+  result prove_constant(net::signal f, bool value, int64_t conflict_budget);
+
+  /// PI assignment of the last `sat` answer (index = PI position).
+  std::vector<bool> model_inputs() const;
+
+  /// Asks for an input assignment satisfying `f == value` — used by the
+  /// SAT-guided pattern generator (§IV-A).  Returns nullopt when
+  /// unsatisfiable or unknown.
+  std::optional<std::vector<bool>> find_assignment(net::signal f, bool value,
+                                                   int64_t conflict_budget);
+
+  uint64_t num_encoded_nodes() const noexcept { return encoded_count_; }
+
+private:
+  lit xor_output(lit a, lit b);
+
+  const net::aig_network& aig_;
+  solver& solver_;
+  std::vector<var> node_var_;     // node id → var + 1 (0 = not encoded)
+  var const_var_;                 // variable fixed to false
+  uint64_t encoded_count_ = 0;
+};
+
+} // namespace stps::sat

@@ -1,0 +1,566 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace stps::sat {
+
+namespace {
+
+constexpr uint32_t undef_lit_x = ~uint32_t{0};
+
+/// Luby restart sequence (1,1,2,1,1,2,4,...).
+uint64_t luby(uint64_t i)
+{
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < i + 1u) {
+    ++seq;
+    size = 2u * size + 1u;
+  }
+  while (size - 1u != i) {
+    size = (size - 1u) >> 1u;
+    --seq;
+    i = i % size;
+  }
+  return uint64_t{1} << seq;
+}
+
+} // namespace
+
+solver::solver() = default;
+
+solver::~solver()
+{
+  for (clause* c : clauses_) {
+    delete c;
+  }
+  for (clause* c : learnts_) {
+    delete c;
+  }
+}
+
+var solver::new_var()
+{
+  const var v = static_cast<var>(assigns_.size());
+  assigns_.push_back(lbool::l_undef);
+  polarity_.push_back(true); // default phase: negative (MiniSat convention)
+  level_.push_back(0u);
+  reason_.push_back(nullptr);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(0u);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+bool solver::add_clause(std::initializer_list<lit> lits)
+{
+  return add_clause(std::span<const lit>{lits.begin(), lits.size()});
+}
+
+bool solver::add_clause(std::span<const lit> lits)
+{
+  if (!ok_) {
+    return false;
+  }
+  if (decision_level() != 0u) {
+    throw std::logic_error{"add_clause: only at decision level 0"};
+  }
+  // Normalize: sort, dedupe, drop false literals, detect tautology.
+  std::vector<lit> c(lits.begin(), lits.end());
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  std::vector<lit> out;
+  out.reserve(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i + 1u < c.size() && c[i + 1u] == ~c[i]) {
+      return true; // tautology
+    }
+    const lbool v = value(c[i]);
+    if (v == lbool::l_true) {
+      return true; // already satisfied at level 0
+    }
+    if (v == lbool::l_undef) {
+      out.push_back(c[i]);
+    }
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1u) {
+    enqueue(out[0], nullptr);
+    ok_ = propagate() == nullptr;
+    return ok_;
+  }
+  auto* cl = new clause{};
+  cl->lits = std::move(out);
+  clauses_.push_back(cl);
+  attach(cl);
+  return true;
+}
+
+void solver::attach(clause* c)
+{
+  assert(c->lits.size() >= 2u);
+  watches_[(~c->lits[0]).x].push_back(watcher{c, c->lits[1]});
+  watches_[(~c->lits[1]).x].push_back(watcher{c, c->lits[0]});
+}
+
+void solver::detach(clause* c)
+{
+  for (const lit w : {c->lits[0], c->lits[1]}) {
+    auto& list = watches_[(~w).x];
+    const auto it =
+        std::find_if(list.begin(), list.end(),
+                     [c](const watcher& wa) { return wa.c == c; });
+    assert(it != list.end());
+    list.erase(it);
+  }
+}
+
+void solver::enqueue(lit l, clause* reason)
+{
+  assert(value(l) == lbool::l_undef);
+  const var v = l.variable();
+  assigns_[v] = from_bool(!l.sign());
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+solver::clause* solver::propagate()
+{
+  clause* conflict = nullptr;
+  while (qhead_ < trail_.size()) {
+    const lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.x];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ws.size()) {
+      const watcher w = ws[i];
+      if (value(w.blocker) == lbool::l_true) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      clause& c = *w.c;
+      const lit false_lit = ~p;
+      if (c.lits[0] == false_lit) {
+        std::swap(c.lits[0], c.lits[1]);
+      }
+      assert(c.lits[1] == false_lit);
+      ++i;
+      const lit first = c.lits[0];
+      if (first != w.blocker && value(first) == lbool::l_true) {
+        ws[j++] = watcher{w.c, first};
+        continue;
+      }
+      bool found = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != lbool::l_false) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).x].push_back(watcher{w.c, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        continue;
+      }
+      // Clause is unit or conflicting under the current assignment.
+      ws[j++] = watcher{w.c, first};
+      if (value(first) == lbool::l_false) {
+        conflict = w.c;
+        qhead_ = trail_.size();
+        while (i < ws.size()) {
+          ws[j++] = ws[i++];
+        }
+      } else {
+        enqueue(first, w.c);
+      }
+    }
+    ws.resize(j);
+  }
+  return conflict;
+}
+
+void solver::analyze(clause* conflict, std::vector<lit>& learnt,
+                     uint32_t& bt_level)
+{
+  learnt.clear();
+  learnt.push_back(lit{}); // slot for the asserting literal
+  uint32_t path_count = 0;
+  lit p;
+  p.x = undef_lit_x;
+  std::size_t index = trail_.size();
+
+  clause* c = conflict;
+  do {
+    assert(c != nullptr);
+    if (c->learnt) {
+      bump_clause(c);
+    }
+    for (const lit q : c->lits) {
+      if (q.x == p.x) {
+        continue;
+      }
+      const var v = q.variable();
+      if (!seen_[v] && level_[v] > 0u) {
+        seen_[v] = true;
+        bump_var(v);
+        if (level_[v] >= decision_level()) {
+          ++path_count;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    while (!seen_[trail_[index - 1u].variable()]) {
+      --index;
+    }
+    p = trail_[--index];
+    c = reason_[p.variable()];
+    seen_[p.variable()] = false;
+    --path_count;
+  } while (path_count > 0u);
+  learnt[0] = ~p;
+
+  // Conflict-clause minimization (MiniSat's deep check).
+  analyze_clear_.assign(learnt.begin() + 1, learnt.end());
+  uint32_t abstract = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    abstract |= 1u << (level_[learnt[i].variable()] & 31u);
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[learnt[i].variable()] == nullptr ||
+        !lit_redundant(learnt[i], abstract)) {
+      learnt[keep++] = learnt[i];
+    }
+  }
+  learnt.resize(keep);
+
+  // Clear seen flags for kept + removed literals.
+  for (const lit l : analyze_clear_) {
+    seen_[l.variable()] = false;
+  }
+  seen_[learnt[0].variable()] = false;
+
+  // Backtrack level: highest level among the non-asserting literals.
+  bt_level = 0;
+  if (learnt.size() > 1u) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].variable()] > level_[learnt[max_i].variable()]) {
+        max_i = i;
+      }
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].variable()];
+  }
+}
+
+bool solver::lit_redundant(lit l, uint32_t abstract_levels)
+{
+  // A literal of the learnt clause is redundant if its reason-DAG closure
+  // only reaches literals already in the clause (seen) or level-0 facts.
+  // Reason clauses keep their implied literal at index 0 while locked, so
+  // antecedents are lits[1..].
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t clear_mark = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const lit p = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const clause* c = reason_[p.variable()];
+    assert(c != nullptr);
+    for (std::size_t k = 1; k < c->lits.size(); ++k) {
+      const lit q = c->lits[k];
+      const var v = q.variable();
+      if (seen_[v] || level_[v] == 0u) {
+        continue;
+      }
+      if (reason_[v] == nullptr ||
+          ((1u << (level_[v] & 31u)) & abstract_levels) == 0u) {
+        // Not removable: undo the marks added during this check.
+        for (std::size_t i = clear_mark; i < analyze_clear_.size(); ++i) {
+          seen_[analyze_clear_[i].variable()] = false;
+        }
+        analyze_clear_.resize(clear_mark);
+        return false;
+      }
+      seen_[v] = true;
+      analyze_clear_.push_back(q);
+      analyze_stack_.push_back(q);
+    }
+  }
+  return true;
+}
+
+void solver::backtrack(uint32_t level)
+{
+  if (decision_level() <= level) {
+    return;
+  }
+  const std::size_t bound = trail_lim_[level];
+  for (std::size_t i = trail_.size(); i-- > bound;) {
+    const var v = trail_[i].variable();
+    polarity_[v] = assigns_[v] == lbool::l_false;
+    assigns_[v] = lbool::l_undef;
+    reason_[v] = nullptr;
+    if (!heap_contains(v)) {
+      heap_insert(v);
+    }
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(level);
+  qhead_ = bound;
+}
+
+lit solver::pick_branch()
+{
+  while (!heap_.empty()) {
+    const var v = heap_pop();
+    if (assigns_[v] == lbool::l_undef) {
+      return lit{v, polarity_[v]};
+    }
+  }
+  lit l;
+  l.x = undef_lit_x;
+  return l;
+}
+
+void solver::bump_var(var v)
+{
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) {
+      a *= 1e-100;
+    }
+    var_inc_ *= 1e-100;
+  }
+  if (heap_contains(v)) {
+    heap_up(heap_pos_[v] - 1u);
+  }
+}
+
+void solver::bump_clause(clause* c)
+{
+  c->activity += clause_inc_;
+  if (c->activity > 1e20f) {
+    for (clause* l : learnts_) {
+      l->activity *= 1e-20f;
+    }
+    clause_inc_ *= 1e-20f;
+  }
+}
+
+void solver::decay_var_activity()
+{
+  var_inc_ /= 0.95;
+  clause_inc_ /= 0.999f;
+}
+
+void solver::reduce_db()
+{
+  std::sort(learnts_.begin(), learnts_.end(),
+            [](const clause* a, const clause* b) {
+              return a->activity < b->activity;
+            });
+  const auto locked = [&](const clause* c) {
+    return value(c->lits[0]) == lbool::l_true &&
+           reason_[c->lits[0].variable()] == c;
+  };
+  std::size_t j = 0;
+  const std::size_t half = learnts_.size() / 2u;
+  for (std::size_t i = 0; i < learnts_.size(); ++i) {
+    clause* c = learnts_[i];
+    if (i < half && c->lits.size() > 2u && !locked(c)) {
+      detach(c);
+      delete c;
+    } else {
+      learnts_[j++] = c;
+    }
+  }
+  learnts_.resize(j);
+}
+
+result solver::solve(std::span<const lit> assumptions,
+                     int64_t conflict_budget)
+{
+  ++stats_.solve_calls;
+  model_.clear();
+  if (!ok_) {
+    return result::unsat;
+  }
+  backtrack(0u);
+  if (propagate() != nullptr) {
+    ok_ = false;
+    return result::unsat;
+  }
+
+  uint64_t conflicts_this_call = 0;
+  uint64_t restart_index = 0;
+  uint64_t restart_budget = 100u * luby(restart_index);
+  uint64_t conflicts_since_restart = 0;
+  std::size_t max_learnts = std::max<std::size_t>(
+      1000u, clauses_.size() / 3u + 100u);
+  std::vector<lit> learnt;
+
+  for (;;) {
+    clause* conflict = propagate();
+    if (conflict != nullptr) {
+      ++stats_.conflicts;
+      ++conflicts_this_call;
+      ++conflicts_since_restart;
+      if (decision_level() == 0u) {
+        ok_ = false;
+        return result::unsat;
+      }
+      uint32_t bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      backtrack(bt_level);
+      if (learnt.size() == 1u) {
+        enqueue(learnt[0], nullptr);
+      } else {
+        auto* c = new clause{};
+        c->learnt = true;
+        c->lits = learnt;
+        learnts_.push_back(c);
+        ++stats_.learnt_clauses;
+        attach(c);
+        bump_clause(c);
+        enqueue(learnt[0], c);
+      }
+      decay_var_activity();
+      if (conflict_budget >= 0 &&
+          conflicts_this_call >= static_cast<uint64_t>(conflict_budget)) {
+        backtrack(0u);
+        return result::unknown;
+      }
+    } else {
+      if (conflicts_since_restart >= restart_budget) {
+        ++stats_.restarts;
+        conflicts_since_restart = 0;
+        restart_budget = 100u * luby(++restart_index);
+        backtrack(0u);
+        continue;
+      }
+      if (learnts_.size() >= max_learnts + trail_.size()) {
+        reduce_db();
+        max_learnts = max_learnts * 11u / 10u;
+      }
+
+      lit next;
+      next.x = undef_lit_x;
+      while (decision_level() < assumptions.size()) {
+        const lit a = assumptions[decision_level()];
+        if (value(a) == lbool::l_true) {
+          // Already satisfied: open an empty decision level for it.
+          trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+        } else if (value(a) == lbool::l_false) {
+          backtrack(0u);
+          return result::unsat;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next.x == undef_lit_x) {
+        next = pick_branch();
+        if (next.x == undef_lit_x) {
+          // All variables assigned: model found.
+          model_ = assigns_;
+          backtrack(0u);
+          return result::sat;
+        }
+        ++stats_.decisions;
+      }
+      trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
+      enqueue(next, nullptr);
+    }
+  }
+}
+
+bool solver::model_value(var v) const
+{
+  if (v >= model_.size() || model_[v] == lbool::l_undef) {
+    return false;
+  }
+  return model_[v] == lbool::l_true;
+}
+
+void solver::heap_insert(var v)
+{
+  if (heap_contains(v)) {
+    return;
+  }
+  heap_.push_back(v);
+  heap_pos_[v] = static_cast<uint32_t>(heap_.size());
+  heap_up(static_cast<uint32_t>(heap_.size() - 1u));
+}
+
+bool solver::heap_contains(var v) const
+{
+  return heap_pos_[v] != 0u;
+}
+
+var solver::heap_pop()
+{
+  const var top = heap_[0];
+  heap_pos_[top] = 0u;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 1u;
+    heap_down(0u);
+  }
+  return top;
+}
+
+void solver::heap_up(uint32_t i)
+{
+  const var v = heap_[i];
+  while (i != 0u) {
+    const uint32_t parent = (i - 1u) / 2u;
+    if (activity_[heap_[parent]] >= activity_[v]) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i + 1u;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i + 1u;
+}
+
+void solver::heap_down(uint32_t i)
+{
+  const var v = heap_[i];
+  const uint32_t size = static_cast<uint32_t>(heap_.size());
+  for (;;) {
+    uint32_t child = 2u * i + 1u;
+    if (child >= size) {
+      break;
+    }
+    if (child + 1u < size &&
+        activity_[heap_[child + 1u]] > activity_[heap_[child]]) {
+      ++child;
+    }
+    if (activity_[heap_[child]] <= activity_[v]) {
+      break;
+    }
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i + 1u;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i + 1u;
+}
+
+} // namespace stps::sat

@@ -1,0 +1,132 @@
+/// \file solver.hpp
+/// \brief CDCL SAT solver (MiniSat-family architecture).
+///
+/// The sweeping framework issues many small incremental equivalence
+/// queries (Alg. 2 line 18), so the solver supports: solving under
+/// assumptions, adding clauses between calls, a per-call conflict budget
+/// whose exhaustion yields `result::unknown` (the paper's `unDET`), and
+/// model extraction for counter-examples (line 26).  Implementation:
+/// two-watched-literal propagation, first-UIP learning with clause
+/// minimization, VSIDS decision heap with phase saving, Luby restarts,
+/// and activity-based learnt-clause reduction.
+#pragma once
+
+#include "sat/types.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stps::sat {
+
+struct solver_stats
+{
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t restarts = 0;
+  uint64_t learnt_clauses = 0;
+  uint64_t solve_calls = 0;
+};
+
+class solver
+{
+public:
+  solver();
+  ~solver();
+  solver(const solver&) = delete;
+  solver& operator=(const solver&) = delete;
+
+  var new_var();
+  uint32_t num_vars() const noexcept
+  {
+    return static_cast<uint32_t>(assigns_.size());
+  }
+
+  /// Adds a clause; returns false if the database is already unsat.
+  bool add_clause(std::span<const lit> lits);
+  bool add_clause(std::initializer_list<lit> lits);
+
+  /// Solves under \p assumptions.  \p conflict_budget < 0 means no budget.
+  result solve(std::span<const lit> assumptions = {},
+               int64_t conflict_budget = -1);
+
+  /// Model value after `result::sat`.
+  bool model_value(var v) const;
+
+  const solver_stats& stats() const noexcept { return stats_; }
+
+  /// True once the clause database is unconditionally unsatisfiable.
+  bool in_conflict() const noexcept { return !ok_; }
+
+private:
+  struct clause
+  {
+    float activity = 0.0f;
+    uint32_t lbd = 0;
+    bool learnt = false;
+    std::vector<lit> lits;
+  };
+
+  struct watcher
+  {
+    clause* c = nullptr;
+    lit blocker;
+  };
+
+  lbool value(lit l) const noexcept
+  {
+    return assigns_[l.variable()] ^ l.sign();
+  }
+  uint32_t decision_level() const noexcept
+  {
+    return static_cast<uint32_t>(trail_lim_.size());
+  }
+
+  void attach(clause* c);
+  void detach(clause* c);
+  void enqueue(lit l, clause* reason);
+  clause* propagate();
+  void analyze(clause* conflict, std::vector<lit>& learnt, uint32_t& bt_level);
+  bool lit_redundant(lit l, uint32_t abstract_levels);
+  void backtrack(uint32_t level);
+  lit pick_branch();
+  void bump_var(var v);
+  void bump_clause(clause* c);
+  void decay_var_activity();
+  void reduce_db();
+  void heap_insert(var v);
+  var heap_pop();
+  void heap_up(uint32_t i);
+  void heap_down(uint32_t i);
+  bool heap_contains(var v) const;
+
+  bool ok_ = true;
+  std::vector<clause*> clauses_;
+  std::vector<clause*> learnts_;
+  std::vector<std::vector<watcher>> watches_; // indexed by lit.x
+  std::vector<lbool> assigns_;
+  std::vector<bool> polarity_;  // saved phases (true = last was negative)
+  std::vector<uint32_t> level_;
+  std::vector<clause*> reason_;
+  std::vector<lit> trail_;
+  std::vector<uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  // VSIDS
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<uint32_t> heap_;      // binary max-heap of vars
+  std::vector<uint32_t> heap_pos_;  // var → heap index + 1 (0 = absent)
+  float clause_inc_ = 1.0f;
+
+  // scratch for analyze
+  std::vector<bool> seen_;
+  std::vector<lit> analyze_stack_;
+  std::vector<lit> analyze_clear_;
+
+  std::vector<lbool> model_;
+  solver_stats stats_;
+};
+
+} // namespace stps::sat

@@ -1,0 +1,64 @@
+/// \file types.hpp
+/// \brief Literals, variables, and ternary values for the CDCL solver.
+#pragma once
+
+#include <cstdint>
+
+namespace stps::sat {
+
+using var = uint32_t;
+
+/// Literal: variable with sign, encoded 2v (positive) / 2v+1 (negative).
+struct lit
+{
+  uint32_t x = 0;
+
+  lit() = default;
+  constexpr lit(var v, bool negative) noexcept
+      : x{(v << 1u) | (negative ? 1u : 0u)}
+  {
+  }
+
+  constexpr var variable() const noexcept { return x >> 1u; }
+  constexpr bool sign() const noexcept { return x & 1u; } ///< true = negated
+  constexpr lit operator~() const noexcept
+  {
+    lit l;
+    l.x = x ^ 1u;
+    return l;
+  }
+  constexpr bool operator==(const lit&) const noexcept = default;
+  constexpr bool operator<(const lit& o) const noexcept { return x < o.x; }
+};
+
+/// Ternary assignment value.
+enum class lbool : uint8_t
+{
+  l_false = 0,
+  l_true = 1,
+  l_undef = 2
+};
+
+constexpr lbool from_bool(bool b) noexcept
+{
+  return b ? lbool::l_true : lbool::l_false;
+}
+
+constexpr lbool operator^(lbool v, bool flip) noexcept
+{
+  if (v == lbool::l_undef) {
+    return v;
+  }
+  return from_bool((v == lbool::l_true) != flip);
+}
+
+/// Outcome of a solve call; `unknown` is the paper's `unDET` (conflict
+/// budget exhausted, Alg. 2 lines 19-21).
+enum class result : uint8_t
+{
+  unsat = 0,
+  sat = 1,
+  unknown = 2
+};
+
+} // namespace stps::sat

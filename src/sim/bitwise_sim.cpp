@@ -1,0 +1,169 @@
+#include "sim/bitwise_sim.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace stps::sim {
+
+namespace {
+
+/// Re-establishes the canonical-tail invariant on every signature row.
+void mask_tails(signature_table& sig, uint64_t num_patterns,
+                std::size_t words)
+{
+  if (words == 0u) {
+    return;
+  }
+  const uint64_t mask = tail_mask(num_patterns);
+  for (auto& row : sig) {
+    if (row.size() == words) {
+      row.back() &= mask;
+    }
+  }
+}
+
+} // namespace
+
+
+signature_table simulate_aig(const net::aig_network& aig,
+                             const pattern_set& patterns)
+{
+  if (patterns.num_inputs() != aig.num_pis()) {
+    throw std::invalid_argument{"simulate_aig: input count mismatch"};
+  }
+  const std::size_t words = patterns.num_words();
+  signature_table sig(aig.size());
+  sig[0].assign(words, 0u); // constant zero
+  aig.foreach_pi([&](net::node n) {
+    const auto row = patterns.input_bits(n - 1u);
+    sig[n].assign(row.begin(), row.end());
+  });
+  aig.foreach_gate([&](net::node n) {
+    const net::signal a = aig.fanin0(n);
+    const net::signal b = aig.fanin1(n);
+    const auto& sa = sig[a.get_node()];
+    const auto& sb = sig[b.get_node()];
+    auto& out = sig[n];
+    out.resize(words);
+    const uint64_t ca = a.is_complemented() ? ~uint64_t{0} : 0u;
+    const uint64_t cb = b.is_complemented() ? ~uint64_t{0} : 0u;
+    for (std::size_t w = 0; w < words; ++w) {
+      out[w] = (sa[w] ^ ca) & (sb[w] ^ cb);
+    }
+  });
+  mask_tails(sig, patterns.num_patterns(), words);
+  return sig;
+}
+
+signature_table simulate_klut_bitwise(const net::klut_network& klut,
+                                      const pattern_set& patterns)
+{
+  if (patterns.num_inputs() != klut.num_pis()) {
+    throw std::invalid_argument{"simulate_klut_bitwise: input mismatch"};
+  }
+  const std::size_t words = patterns.num_words();
+  const uint64_t n_pat = patterns.num_patterns();
+  signature_table sig(klut.size());
+  sig[0].assign(words, 0u);
+  sig[1].assign(words, ~uint64_t{0});
+  if (words != 0u && (n_pat % 64u) != 0u) {
+    sig[1].back() = (uint64_t{1} << (n_pat % 64u)) - 1u;
+  }
+  klut.foreach_pi([&](net::klut_network::node n) {
+    const auto row = patterns.input_bits(n - 2u);
+    sig[n].assign(row.begin(), row.end());
+  });
+  std::vector<const uint64_t*> ins;
+  klut.foreach_gate([&](net::klut_network::node n) {
+    const auto& fis = klut.fanins(n);
+    const uint64_t* tw = klut.table(n).words().data();
+    auto& out = sig[n];
+    out.assign(words, 0u);
+    ins.resize(fis.size());
+    for (std::size_t i = 0; i < fis.size(); ++i) {
+      ins[i] = sig[fis[i]].data();
+    }
+    // The conventional path: per pattern, extract each input bit,
+    // assemble the LUT index, look up one bit.
+    const std::size_t k = fis.size();
+    for (uint64_t p = 0; p < n_pat; ++p) {
+      const uint64_t word = p >> 6u;
+      const uint64_t bit = p & 63u;
+      uint64_t index = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        index |= ((ins[i][word] >> bit) & 1u) << i;
+      }
+      out[word] |= ((tw[index >> 6u] >> (index & 63u)) & 1u) << bit;
+    }
+  });
+  return sig;
+}
+
+void resimulate_aig_last_word(const net::aig_network& aig,
+                              const pattern_set& patterns,
+                              signature_table& signatures)
+{
+  const std::size_t words = patterns.num_words();
+  if (words == 0u) {
+    return;
+  }
+  const std::size_t last = words - 1u;
+  if (signatures.size() < aig.size()) {
+    signatures.resize(aig.size());
+  }
+  auto grow = [&](std::vector<uint64_t>& row) {
+    if (row.size() < words) {
+      row.resize(words, 0u);
+    }
+  };
+  grow(signatures[0]);
+  signatures[0][last] = 0u;
+  aig.foreach_pi([&](net::node n) {
+    grow(signatures[n]);
+    signatures[n][last] = patterns.input_bits(n - 1u)[last];
+  });
+  aig.foreach_gate([&](net::node n) {
+    const net::signal a = aig.fanin0(n);
+    const net::signal b = aig.fanin1(n);
+    grow(signatures[n]);
+    const uint64_t va = signatures[a.get_node()][last] ^
+                        (a.is_complemented() ? ~uint64_t{0} : 0u);
+    const uint64_t vb = signatures[b.get_node()][last] ^
+                        (b.is_complemented() ? ~uint64_t{0} : 0u);
+    signatures[n][last] = va & vb;
+  });
+  const uint64_t mask = tail_mask(patterns.num_patterns());
+  for (auto& row : signatures) {
+    if (row.size() == words) {
+      row.back() &= mask;
+    }
+  }
+}
+
+bool evaluate_aig_node(const net::aig_network& aig, net::node n,
+                       std::span<const bool> assignment)
+{
+  if (assignment.size() != aig.num_pis()) {
+    throw std::invalid_argument{"evaluate_aig_node: arity mismatch"};
+  }
+  std::vector<uint8_t> value(aig.size(), 0u);
+  std::vector<uint8_t> known(aig.size(), 0u);
+  known[0] = 1u;
+  aig.foreach_pi([&](net::node pi) {
+    value[pi] = assignment[pi - 1u] ? 1u : 0u;
+    known[pi] = 1u;
+  });
+  aig.foreach_gate([&](net::node g) {
+    const net::signal a = aig.fanin0(g);
+    const net::signal b = aig.fanin1(g);
+    assert(known[a.get_node()] && known[b.get_node()]);
+    const bool va = value[a.get_node()] ^ a.is_complemented();
+    const bool vb = value[b.get_node()] ^ b.is_complemented();
+    value[g] = va && vb;
+    known[g] = 1u;
+  });
+  return value[n];
+}
+
+} // namespace stps::sim

@@ -1,0 +1,44 @@
+/// \file bitwise_sim.hpp
+/// \brief Baseline word-parallel / per-bit simulators (the comparators of
+/// Table I).
+///
+/// * `simulate_aig` is the mockturtle-style bit-parallel AIG simulator:
+///   64 patterns per word, one AND/complement word operation per gate —
+///   the `TA` baseline, which STP matches but does not beat.
+/// * `simulate_klut_bitwise` is the conventional k-LUT simulator the
+///   paper criticizes (§III, §V-A): for each pattern it extracts the
+///   individual input bits, assembles a LUT index, and looks the output
+///   bit up — no word parallelism.  This is the `TL` baseline the STP
+///   simulator beats by ~7×.
+/// * `resimulate_aig_last_word` is the incremental path used when a
+///   counter-example is appended: only the final word is recomputed.
+#pragma once
+
+#include "network/aig.hpp"
+#include "network/klut.hpp"
+#include "sim/patterns.hpp"
+
+namespace stps::sim {
+
+/// Word-parallel AIG simulation; `result[node]` has pattern words for all
+/// live nodes (dead nodes keep zero words).
+signature_table simulate_aig(const net::aig_network& aig,
+                             const pattern_set& patterns);
+
+/// Conventional per-bit k-LUT simulation (baseline of Table I, column TL).
+signature_table simulate_klut_bitwise(const net::klut_network& klut,
+                                      const pattern_set& patterns);
+
+/// Recomputes only the last signature word after patterns were appended;
+/// signatures for earlier words must already be valid.  Grows each node's
+/// signature if the pattern set acquired a new word.
+void resimulate_aig_last_word(const net::aig_network& aig,
+                              const pattern_set& patterns,
+                              signature_table& signatures);
+
+/// Evaluates a single node under a single full input assignment (slow
+/// reference path used by tests and the CEC debug checker).
+bool evaluate_aig_node(const net::aig_network& aig, net::node n,
+                       std::span<const bool> assignment);
+
+} // namespace stps::sim

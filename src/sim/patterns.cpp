@@ -1,0 +1,96 @@
+#include "sim/patterns.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace stps::sim {
+
+pattern_set::pattern_set(uint32_t num_inputs)
+    : num_inputs_{num_inputs}, bits_(num_inputs)
+{
+}
+
+pattern_set pattern_set::random(uint32_t num_inputs, uint64_t num_patterns,
+                                uint64_t seed)
+{
+  pattern_set p{num_inputs};
+  p.num_patterns_ = num_patterns;
+  const std::size_t words = p.num_words();
+  std::mt19937_64 rng{seed};
+  const uint64_t tail_mask = (num_patterns % 64u) == 0u
+                                 ? ~uint64_t{0}
+                                 : (uint64_t{1} << (num_patterns % 64u)) - 1u;
+  for (auto& row : p.bits_) {
+    row.resize(words);
+    for (auto& w : row) {
+      w = rng();
+    }
+    if (!row.empty()) {
+      row.back() &= tail_mask;
+    }
+  }
+  return p;
+}
+
+pattern_set pattern_set::exhaustive(uint32_t num_inputs)
+{
+  if (num_inputs > 20u) {
+    throw std::invalid_argument{"exhaustive: too many inputs"};
+  }
+  pattern_set p{num_inputs};
+  p.num_patterns_ = uint64_t{1} << num_inputs;
+  const std::size_t words = p.num_words();
+  for (uint32_t input = 0; input < num_inputs; ++input) {
+    auto& row = p.bits_[input];
+    row.resize(words);
+    if (input < 6u) {
+      // Repeating in-word projection masks.
+      static constexpr uint64_t masks[6] = {
+          0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull,
+          0xf0f0f0f0f0f0f0f0ull, 0xff00ff00ff00ff00ull,
+          0xffff0000ffff0000ull, 0xffffffff00000000ull};
+      for (auto& w : row) {
+        w = masks[input];
+      }
+    } else {
+      const std::size_t period = std::size_t{1} << (input - 6u);
+      for (std::size_t i = 0; i < words; ++i) {
+        row[i] = (i / period) & 1u ? ~uint64_t{0} : 0u;
+      }
+    }
+    if (p.num_patterns_ < 64u) {
+      row.back() &= (uint64_t{1} << p.num_patterns_) - 1u;
+    }
+  }
+  return p;
+}
+
+std::span<const uint64_t> pattern_set::input_bits(uint32_t input) const
+{
+  return bits_.at(input);
+}
+
+bool pattern_set::bit(uint32_t input, uint64_t pattern) const
+{
+  return (bits_.at(input)[pattern >> 6u] >> (pattern & 63u)) & 1u;
+}
+
+void pattern_set::add_pattern(const std::vector<bool>& assignment)
+{
+  if (assignment.size() != num_inputs_) {
+    throw std::invalid_argument{"add_pattern: arity mismatch"};
+  }
+  const uint64_t index = num_patterns_++;
+  const std::size_t word = index >> 6u;
+  const uint64_t mask = uint64_t{1} << (index & 63u);
+  for (uint32_t i = 0; i < num_inputs_; ++i) {
+    if (bits_[i].size() <= word) {
+      bits_[i].resize(word + 1u, 0u);
+    }
+    if (assignment[i]) {
+      bits_[i][word] |= mask;
+    }
+  }
+}
+
+} // namespace stps::sim

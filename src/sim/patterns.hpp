@@ -1,0 +1,69 @@
+/// \file patterns.hpp
+/// \brief Simulation pattern sets and node signatures.
+///
+/// A *simulation pattern* assigns one Boolean value per primary input
+/// (§II-A); a pattern set packs many patterns word-parallel, 64 per
+/// machine word, pattern i at bit position i of each input's bit string.
+/// A *signature* is the ordered set of values a node produces under the
+/// pattern set; exhaustive sets make signatures truth tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stps::sim {
+
+/// Word-packed pattern set for a fixed number of inputs.
+class pattern_set
+{
+public:
+  pattern_set() = default;
+  /// Empty set (0 patterns) over \p num_inputs inputs.
+  explicit pattern_set(uint32_t num_inputs);
+
+  /// Uniformly random patterns (deterministic in \p seed).
+  static pattern_set random(uint32_t num_inputs, uint64_t num_patterns,
+                            uint64_t seed);
+
+  /// All 2^num_inputs input combinations (num_inputs ≤ 20); pattern i
+  /// assigns input j the j-th bit of i.
+  static pattern_set exhaustive(uint32_t num_inputs);
+
+  uint32_t num_inputs() const noexcept { return num_inputs_; }
+  uint64_t num_patterns() const noexcept { return num_patterns_; }
+  std::size_t num_words() const noexcept
+  {
+    return (num_patterns_ + 63u) / 64u;
+  }
+
+  /// Bit string of \p input (num_words() words; trailing bits zero).
+  std::span<const uint64_t> input_bits(uint32_t input) const;
+
+  bool bit(uint32_t input, uint64_t pattern) const;
+
+  /// Appends one pattern (e.g. a SAT counter-example, §I).
+  void add_pattern(const std::vector<bool>& assignment);
+
+private:
+  uint32_t num_inputs_ = 0;
+  uint64_t num_patterns_ = 0;
+  std::vector<std::vector<uint64_t>> bits_; // [input][word]
+};
+
+/// Per-node signatures produced by a simulator run: `sig[node]` has one
+/// word per 64 patterns, aligned with the pattern set.  Simulators
+/// guarantee the *canonical tail* invariant: bits at positions at or
+/// beyond `num_patterns` in the final word are zero, so whole-word
+/// signature comparison is meaningful.
+using signature_table = std::vector<std::vector<uint64_t>>;
+
+/// Mask selecting the valid bits of the final signature word.
+constexpr uint64_t tail_mask(uint64_t num_patterns) noexcept
+{
+  return (num_patterns % 64u) == 0u
+             ? ~uint64_t{0}
+             : (uint64_t{1} << (num_patterns % 64u)) - 1u;
+}
+
+} // namespace stps::sim

@@ -1,0 +1,198 @@
+#include "stp/expression.hpp"
+
+#include "tt/operations.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace stps::stp {
+
+namespace {
+
+logic_matrix structural_matrix(expression::kind op)
+{
+  switch (op) {
+    case expression::kind::conjunction: return logic_matrix::conjunction();
+    case expression::kind::disjunction: return logic_matrix::disjunction();
+    case expression::kind::exclusive_or: return logic_matrix::exclusive_or();
+    case expression::kind::implication: return logic_matrix::implication();
+    case expression::kind::equivalence: return logic_matrix::equivalence();
+    default: throw std::logic_error{"structural_matrix: not a binary op"};
+  }
+}
+
+const char* op_symbol(expression::kind op)
+{
+  switch (op) {
+    case expression::kind::conjunction: return " ∧ ";
+    case expression::kind::disjunction: return " ∨ ";
+    case expression::kind::exclusive_or: return " ⊕ ";
+    case expression::kind::implication: return " → ";
+    case expression::kind::equivalence: return " ↔ ";
+    default: return " ? ";
+  }
+}
+
+} // namespace
+
+expression::expression(const expression& other)
+    : kind_{other.kind_}, value_{other.value_}, var_{other.var_}
+{
+  if (other.left_) {
+    left_ = std::make_unique<expression>(*other.left_);
+  }
+  if (other.right_) {
+    right_ = std::make_unique<expression>(*other.right_);
+  }
+}
+
+expression& expression::operator=(const expression& other)
+{
+  if (this != &other) {
+    expression copy{other};
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+bool expression::evaluate(std::span<const bool> assignment) const
+{
+  switch (kind_) {
+    case kind::constant: return value_;
+    case kind::variable:
+      if (var_ >= assignment.size()) {
+        throw std::out_of_range{"expression::evaluate: unbound variable"};
+      }
+      return assignment[var_];
+    case kind::negation: return !left_->evaluate(assignment);
+    case kind::conjunction:
+      return left_->evaluate(assignment) && right_->evaluate(assignment);
+    case kind::disjunction:
+      return left_->evaluate(assignment) || right_->evaluate(assignment);
+    case kind::exclusive_or:
+      return left_->evaluate(assignment) != right_->evaluate(assignment);
+    case kind::implication:
+      return !left_->evaluate(assignment) || right_->evaluate(assignment);
+    case kind::equivalence:
+      return left_->evaluate(assignment) == right_->evaluate(assignment);
+  }
+  throw std::logic_error{"expression::evaluate: corrupt node"};
+}
+
+logic_matrix expression::canonical_form(uint32_t num_vars) const
+{
+  switch (kind_) {
+    case kind::constant:
+      // Constant canonical form: a logic matrix of equal columns.
+      return logic_matrix{value_ ? tt::make_const1(num_vars)
+                                 : tt::make_const0(num_vars)};
+    case kind::variable: {
+      if (var_ >= num_vars) {
+        throw std::out_of_range{"canonical_form: unbound variable"};
+      }
+      // x_0 is the leading STP factor == most-significant table variable.
+      return logic_matrix{tt::make_var(num_vars, num_vars - 1u - var_)};
+    }
+    case kind::negation: {
+      const logic_matrix sub = left_->canonical_form(num_vars);
+      return logic_matrix{tt::unary_not(sub.table())};
+    }
+    default: {
+      const logic_matrix ls = left_->canonical_form(num_vars);
+      const logic_matrix rs = right_->canonical_form(num_vars);
+      // Binary structural matrix composed with both canonical forms:
+      // M_σ ⋉ f ⋉ g, leading factor first.
+      const logic_matrix subs[2] = {ls, rs};
+      return structural_matrix(kind_).compose(subs);
+    }
+  }
+}
+
+std::string expression::to_string() const
+{
+  switch (kind_) {
+    case kind::constant: return value_ ? "1" : "0";
+    case kind::variable: {
+      std::ostringstream os;
+      os << 'x' << var_;
+      return os.str();
+    }
+    case kind::negation: return "¬" + left_->to_string();
+    default: {
+      std::ostringstream os;
+      os << '(' << left_->to_string() << op_symbol(kind_)
+         << right_->to_string() << ')';
+      return os.str();
+    }
+  }
+}
+
+expression expression::make_constant(bool value)
+{
+  expression e;
+  e.kind_ = kind::constant;
+  e.value_ = value;
+  return e;
+}
+
+expression expression::make_variable(uint32_t index)
+{
+  expression e;
+  e.kind_ = kind::variable;
+  e.var_ = index;
+  return e;
+}
+
+expression expression::make_not(expression a)
+{
+  expression e;
+  e.kind_ = kind::negation;
+  e.left_ = std::make_unique<expression>(std::move(a));
+  return e;
+}
+
+expression expression::make_binary(kind op, expression a, expression b)
+{
+  expression e;
+  e.kind_ = op;
+  e.left_ = std::make_unique<expression>(std::move(a));
+  e.right_ = std::make_unique<expression>(std::move(b));
+  return e;
+}
+
+expression v(uint32_t index) { return expression::make_variable(index); }
+expression constant(bool value) { return expression::make_constant(value); }
+expression operator!(expression a) { return expression::make_not(std::move(a)); }
+
+expression operator&&(expression a, expression b)
+{
+  return expression::make_binary(expression::kind::conjunction, std::move(a),
+                                 std::move(b));
+}
+
+expression operator||(expression a, expression b)
+{
+  return expression::make_binary(expression::kind::disjunction, std::move(a),
+                                 std::move(b));
+}
+
+expression operator^(expression a, expression b)
+{
+  return expression::make_binary(expression::kind::exclusive_or, std::move(a),
+                                 std::move(b));
+}
+
+expression implies(expression a, expression b)
+{
+  return expression::make_binary(expression::kind::implication, std::move(a),
+                                 std::move(b));
+}
+
+expression iff(expression a, expression b)
+{
+  return expression::make_binary(expression::kind::equivalence, std::move(a),
+                                 std::move(b));
+}
+
+} // namespace stps::stp

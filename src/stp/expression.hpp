@@ -1,0 +1,91 @@
+/// \file expression.hpp
+/// \brief Boolean expression trees and their STP canonical forms.
+///
+/// Property 3 of the paper: any logic expression Φ(x_1,…,x_n) can be
+/// computed into a canonical form M_Φ with Φ = M_Φ x_1 … x_n.  This
+/// module builds expressions symbolically and lowers them to canonical
+/// logic matrices by composing structural matrices — the constructive
+/// proof of Property 3 and the machinery behind Examples 1 and 2
+/// (including the liar puzzle reproduced in examples/liar_puzzle.cpp).
+#pragma once
+
+#include "stp/logic_matrix.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace stps::stp {
+
+/// Immutable expression node; build with the free functions below.
+class expression
+{
+public:
+  enum class kind : uint8_t
+  {
+    constant,
+    variable,
+    negation,
+    conjunction,
+    disjunction,
+    exclusive_or,
+    implication,
+    equivalence
+  };
+
+  kind node_kind() const noexcept { return kind_; }
+  bool constant_value() const noexcept { return value_; }
+  uint32_t variable_index() const noexcept { return var_; }
+  const expression* left() const noexcept { return left_.get(); }
+  const expression* right() const noexcept { return right_.get(); }
+
+  /// Evaluates under a full assignment (assignment[i] = value of x_i).
+  bool evaluate(std::span<const bool> assignment) const;
+
+  /// Lowers to M_Φ over \p num_vars variables (Property 3).  Variable
+  /// x_0 is the *leading* STP factor, matching the paper's M_Φ x_1 … x_n
+  /// ordering.
+  logic_matrix canonical_form(uint32_t num_vars) const;
+
+  /// Infix rendering with ¬ ∧ ∨ ⊕ → ↔.
+  std::string to_string() const;
+
+  /// \name Node constructors
+  /// \{
+  static expression make_constant(bool value);
+  static expression make_variable(uint32_t index);
+  static expression make_not(expression a);
+  static expression make_binary(kind op, expression a, expression b);
+  /// \}
+
+  expression(const expression& other);
+  expression& operator=(const expression& other);
+  expression(expression&&) noexcept = default;
+  expression& operator=(expression&&) noexcept = default;
+  ~expression() = default;
+
+private:
+  expression() = default;
+
+  kind kind_ = kind::constant;
+  bool value_ = false;
+  uint32_t var_ = 0;
+  std::unique_ptr<expression> left_;
+  std::unique_ptr<expression> right_;
+};
+
+/// \name Expression DSL
+/// `auto phi = (v(0) == !v(1)) && (v(1) == !v(2));`
+/// \{
+expression v(uint32_t index);
+expression constant(bool value);
+expression operator!(expression a);
+expression operator&&(expression a, expression b);
+expression operator||(expression a, expression b);
+expression operator^(expression a, expression b);
+expression implies(expression a, expression b);
+expression iff(expression a, expression b);
+/// \}
+
+} // namespace stps::stp

@@ -1,0 +1,157 @@
+#include "stp/logic_matrix.hpp"
+
+#include "tt/operations.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace stps::stp {
+
+logic_matrix::logic_matrix(bool constant) : table_{0u}
+{
+  table_.set_bit(0u, constant);
+}
+
+logic_matrix::logic_matrix(tt::truth_table table) : table_{std::move(table)}
+{
+}
+
+matrix logic_matrix::to_dense() const
+{
+  const std::size_t n = num_cols();
+  matrix m{2, n};
+  for (std::size_t j = 0; j < n; ++j) {
+    const bool v = table_.bit(n - 1u - j);
+    m.set(v ? 0u : 1u, j, 1u);
+  }
+  return m;
+}
+
+logic_matrix logic_matrix::from_dense(const matrix& m)
+{
+  if (m.rows() != 2u) {
+    throw std::invalid_argument{"from_dense: not a 2-row matrix"};
+  }
+  uint32_t num_vars = 0;
+  while ((std::size_t{1} << num_vars) < m.cols()) {
+    ++num_vars;
+  }
+  if ((std::size_t{1} << num_vars) != m.cols()) {
+    throw std::invalid_argument{"from_dense: column count not a power of two"};
+  }
+  tt::truth_table table{num_vars};
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    const uint8_t top = m.at(0, j);
+    const uint8_t bot = m.at(1, j);
+    if (top + bot != 1u) {
+      throw std::invalid_argument{"from_dense: column not in B"};
+    }
+    table.set_bit(m.cols() - 1u - j, top == 1u);
+  }
+  return logic_matrix{std::move(table)};
+}
+
+logic_matrix logic_matrix::negation()
+{
+  return logic_matrix{tt::truth_table{1u, {0x1ull}}};
+}
+
+logic_matrix logic_matrix::conjunction()
+{
+  return logic_matrix{tt::truth_table{2u, {0x8ull}}};
+}
+
+logic_matrix logic_matrix::disjunction()
+{
+  return logic_matrix{tt::truth_table{2u, {0xeull}}};
+}
+
+logic_matrix logic_matrix::exclusive_or()
+{
+  return logic_matrix{tt::truth_table{2u, {0x6ull}}};
+}
+
+logic_matrix logic_matrix::implication()
+{
+  return logic_matrix{tt::truth_table{2u, {0xbull}}};
+}
+
+logic_matrix logic_matrix::equivalence()
+{
+  return logic_matrix{tt::truth_table{2u, {0x9ull}}};
+}
+
+bool logic_matrix::apply(std::span<const bool> inputs) const
+{
+  if (inputs.size() != num_vars()) {
+    throw std::invalid_argument{"logic_matrix::apply: arity mismatch"};
+  }
+  // One matrix pass: each factor halves the active column block; the
+  // surviving column's index is accumulated here.
+  uint64_t index = 0;
+  for (bool x : inputs) {
+    index = (index << 1u) | (x ? 1u : 0u);
+  }
+  return table_.bit(index);
+}
+
+logic_matrix logic_matrix::apply_partial(bool x) const
+{
+  if (num_vars() == 0u) {
+    throw std::invalid_argument{"apply_partial: constant matrix"};
+  }
+  const uint32_t rem = num_vars() - 1u;
+  tt::truth_table out{rem};
+  const uint64_t offset = x ? (uint64_t{1} << rem) : 0u;
+  for (uint64_t i = 0; i < out.num_bits(); ++i) {
+    out.set_bit(i, table_.bit(i + offset));
+  }
+  return logic_matrix{std::move(out)};
+}
+
+logic_matrix logic_matrix::compose(std::span<const logic_matrix> gs) const
+{
+  if (gs.size() != num_vars()) {
+    throw std::invalid_argument{"logic_matrix::compose: arity mismatch"};
+  }
+  if (gs.empty()) {
+    return *this;
+  }
+  // gs[0] is the leading STP factor and therefore this matrix's
+  // most-significant table variable; tt::compose expects LSB-first.
+  std::vector<tt::truth_table> inner;
+  inner.reserve(gs.size());
+  for (std::size_t i = gs.size(); i-- > 0;) {
+    inner.push_back(gs[i].table());
+  }
+  return logic_matrix{tt::compose(table_, inner)};
+}
+
+std::string logic_matrix::to_string() const
+{
+  std::ostringstream os;
+  const std::size_t n = num_cols();
+  os << '[';
+  for (std::size_t row = 0; row < 2u; ++row) {
+    if (row != 0) {
+      os << "; ";
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != 0) {
+        os << ' ';
+      }
+      const bool v = table_.bit(n - 1u - j);
+      os << ((row == 0u) == v ? 1 : 0);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+bool identity_holds(const logic_matrix& lhs, const logic_matrix& rhs)
+{
+  return lhs.table() == rhs.table();
+}
+
+} // namespace stps::stp

@@ -1,0 +1,92 @@
+/// \file logic_matrix.hpp
+/// \brief Logic matrices: the 2×2^n matrices whose columns lie in B.
+///
+/// Definition 2 of the paper: a logic matrix's columns are Boolean
+/// vectors, and the *structural matrix* M_σ of an operation σ has columns
+/// consistent with σ's truth table read from right to left.  A logic
+/// matrix is therefore isomorphic to a truth table; this class stores that
+/// compact form, converts losslessly to the dense `stp::matrix`, and
+/// implements the STP actions the simulator needs:
+///
+///   * `apply(inputs)`    — M_Φ x_1 … x_n for Boolean vectors (one pass);
+///   * `apply_partial(x)` — M ⋉ x, pinning the leading variable and
+///                          yielding the 2×2^{n-1} residual logic matrix;
+///   * `compose`          — the canonical form of σ(g_1, …, g_k).
+#pragma once
+
+#include "stp/matrix.hpp"
+#include "tt/truth_table.hpp"
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace stps::stp {
+
+/// A 2×2^n logic matrix, stored as the truth table of its columns.
+///
+/// Column j (counting from the left, 0-based) encodes the function value
+/// at input index 2^n-1-j, i.e. the table is read right to left, exactly
+/// as Definition 2 prescribes.
+class logic_matrix
+{
+public:
+  /// The 2×1 logic matrix of a constant (n = 0).
+  explicit logic_matrix(bool constant);
+
+  /// Wraps a truth table as its structural matrix.
+  explicit logic_matrix(tt::truth_table table);
+
+  uint32_t num_vars() const noexcept { return table_.num_vars(); }
+  std::size_t num_cols() const noexcept
+  {
+    return std::size_t{1} << table_.num_vars();
+  }
+
+  const tt::truth_table& table() const noexcept { return table_; }
+
+  bool operator==(const logic_matrix& other) const = default;
+
+  /// Expands to the dense 2×2^n matrix (column j top entry = value at
+  /// index 2^n-1-j).
+  matrix to_dense() const;
+
+  /// Reconstructs from a dense 2×2^n matrix; throws unless every column
+  /// is an element of B.
+  static logic_matrix from_dense(const matrix& m);
+
+  /// Structural matrices of the standard operators (Property 2).
+  static logic_matrix negation();      ///< M_¬ = [0 1; 1 0]
+  static logic_matrix conjunction();   ///< M_∧
+  static logic_matrix disjunction();   ///< M_∨
+  static logic_matrix exclusive_or();  ///< M_⊕
+  static logic_matrix implication();   ///< M_→
+  static logic_matrix equivalence();   ///< M_↔
+
+  /// Full evaluation M x_1 … x_n (inputs.size() must equal num_vars);
+  /// inputs[0] is the leading (leftmost) factor.  One matrix pass: each
+  /// input halves the active column block.
+  bool apply(std::span<const bool> inputs) const;
+
+  /// Partial evaluation M ⋉ x for the leading variable; returns the
+  /// residual 2×2^{n-1} logic matrix.
+  logic_matrix apply_partial(bool x) const;
+
+  /// Canonical form of σ(g_1, …, g_k): `*this` is M_σ (k variables) and
+  /// \p gs are the canonical forms of the subfunctions, all over one
+  /// common variable set.  Implements Property 3 constructively.
+  logic_matrix compose(std::span<const logic_matrix> gs) const;
+
+  /// Renders as the bracketed two-row matrix the paper prints.
+  std::string to_string() const;
+
+private:
+  tt::truth_table table_;
+};
+
+/// Canonical-form equality σ(…) == τ(…) is truth-table equality; this
+/// checks a logic identity the way Example 1 does: by computing both
+/// canonical forms and comparing matrices.
+bool identity_holds(const logic_matrix& lhs, const logic_matrix& rhs);
+
+} // namespace stps::stp

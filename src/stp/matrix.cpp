@@ -1,0 +1,151 @@
+#include "stp/matrix.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace stps::stp {
+
+matrix::matrix(std::size_t rows, std::size_t cols)
+    : rows_{rows}, cols_{cols}, data_(rows * cols, 0u)
+{
+}
+
+matrix::matrix(std::size_t rows, std::size_t cols,
+               std::initializer_list<int> row_major)
+    : matrix{rows, cols}
+{
+  if (row_major.size() != rows * cols) {
+    throw std::invalid_argument{"matrix: initializer size mismatch"};
+  }
+  std::size_t i = 0;
+  for (int v : row_major) {
+    if (v != 0 && v != 1) {
+      throw std::invalid_argument{"matrix: entries must be 0/1"};
+    }
+    data_[i++] = static_cast<uint8_t>(v);
+  }
+}
+
+uint8_t matrix::at(std::size_t r, std::size_t c) const
+{
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range{"matrix::at"};
+  }
+  return data_[r * cols_ + c];
+}
+
+void matrix::set(std::size_t r, std::size_t c, uint8_t v)
+{
+  if (r >= rows_ || c >= cols_) {
+    throw std::out_of_range{"matrix::set"};
+  }
+  data_[r * cols_ + c] = v ? 1u : 0u;
+}
+
+std::string matrix::to_string() const
+{
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r != 0) {
+      os << "; ";
+    }
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c != 0) {
+        os << ' ';
+      }
+      os << int{at(r, c)};
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+matrix matrix::identity(std::size_t n)
+{
+  matrix m{n, n};
+  for (std::size_t i = 0; i < n; ++i) {
+    m.set(i, i, 1u);
+  }
+  return m;
+}
+
+matrix matrix::boolean(bool value)
+{
+  matrix m{2, 1};
+  m.set(value ? 0u : 1u, 0u, 1u);
+  return m;
+}
+
+matrix matrix::swap(std::size_t m, std::size_t n)
+{
+  // W_{[m,n]} is mn×mn with W[(j*m + i), (i*n + j)] = 1.
+  matrix w{m * n, m * n};
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      w.set(j * m + i, i * n + j, 1u);
+    }
+  }
+  return w;
+}
+
+matrix matrix::power_reduce()
+{
+  // PR ⋉ x = x ⊗ x for x ∈ {[1 0]^T, [0 1]^T}: columns indexed by x.
+  return matrix{4, 2, {1, 0, 0, 0, 0, 0, 0, 1}};
+}
+
+matrix multiply(const matrix& a, const matrix& b)
+{
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument{"multiply: inner dimensions differ"};
+  }
+  matrix out{a.rows(), b.cols()};
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      if (!a.at(r, k)) {
+        continue;
+      }
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        if (b.at(k, c)) {
+          out.set(r, c, 1u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+matrix kronecker(const matrix& a, const matrix& b)
+{
+  matrix out{a.rows() * b.rows(), a.cols() * b.cols()};
+  for (std::size_t ar = 0; ar < a.rows(); ++ar) {
+    for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+      if (!a.at(ar, ac)) {
+        continue;
+      }
+      for (std::size_t br = 0; br < b.rows(); ++br) {
+        for (std::size_t bc = 0; bc < b.cols(); ++bc) {
+          if (b.at(br, bc)) {
+            out.set(ar * b.rows() + br, ac * b.cols() + bc, 1u);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+matrix semi_tensor_product(const matrix& a, const matrix& b)
+{
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument{"semi_tensor_product: empty operand"};
+  }
+  const std::size_t t = std::lcm(a.cols(), b.rows());
+  const matrix lhs = kronecker(a, matrix::identity(t / a.cols()));
+  const matrix rhs = kronecker(b, matrix::identity(t / b.rows()));
+  return multiply(lhs, rhs);
+}
+
+} // namespace stps::stp

@@ -1,0 +1,78 @@
+/// \file matrix.hpp
+/// \brief Dense Boolean matrices with the semi-tensor product (STP).
+///
+/// This is the honest algebra layer of the paper's §II-B: real (0/1)
+/// matrices of arbitrary dimension, the Kronecker product, and the STP
+///
+///     X ⋉ Y = (X ⊗ I_{t/n}) · (Y ⊗ I_{t/p}),   t = lcm(n, p),
+///
+/// together with the special matrices of STP theory (identity, swap
+/// matrix W_{[m,n]}, power-reducing matrix PR_k).  The simulator's hot
+/// path (src/core) uses the column-selection shortcut this algebra
+/// licenses; tests in tests/test_stp_matrix.cpp verify the shortcut
+/// against these dense products.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace stps::stp {
+
+/// Dense Boolean matrix (entries 0/1 stored as uint8_t, row-major).
+///
+/// Dimensions are kept as 64-bit values; products check compatibility and
+/// throw `std::invalid_argument` on misuse rather than silently UB.
+class matrix
+{
+public:
+  matrix() = default;
+  matrix(std::size_t rows, std::size_t cols);
+  matrix(std::size_t rows, std::size_t cols,
+         std::initializer_list<int> row_major);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  uint8_t at(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, uint8_t v);
+
+  bool operator==(const matrix& other) const = default;
+
+  /// Multi-line "[0 1; 1 0]"-style rendering for diagnostics.
+  std::string to_string() const;
+
+  /// n×n identity.
+  static matrix identity(std::size_t n);
+  /// Column vector [1 0]^T (True) / [0 1]^T (False) — the set B of (1).
+  static matrix boolean(bool value);
+  /// Swap matrix W_{[m,n]}: W ⋉ (x ⊗ y) = y ⊗ x for x ∈ M_{m×1}, y ∈ M_{n×1}.
+  static matrix swap(std::size_t m, std::size_t n);
+  /// Power-reducing matrix PR: PR ⋉ x = x ⋉ x for Boolean x (M_r in the
+  /// STP literature), dimension 4×2.
+  static matrix power_reduce();
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// Common matrix product (dimensions must agree exactly).
+matrix multiply(const matrix& a, const matrix& b);
+
+/// Kronecker product A ⊗ B.
+matrix kronecker(const matrix& a, const matrix& b);
+
+/// Semi-tensor product A ⋉ B per Definition 1.
+matrix semi_tensor_product(const matrix& a, const matrix& b);
+
+/// Convenience operator: `a * b` is the STP (the paper omits ⋉).
+inline matrix operator*(const matrix& a, const matrix& b)
+{
+  return semi_tensor_product(a, b);
+}
+
+} // namespace stps::stp

@@ -1,0 +1,211 @@
+#include "sweep/equiv_classes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace stps::sweep {
+
+namespace {
+
+/// FNV-1a over a signature, normalized by phase; the final word is
+/// restricted to its valid bits so zero padding is phase-neutral.
+uint64_t signature_key(const std::vector<uint64_t>& sig, bool phase,
+                       uint64_t last_word_mask)
+{
+  const uint64_t flip = phase ? ~uint64_t{0} : 0u;
+  uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    const uint64_t mask =
+        i + 1u == sig.size() ? last_word_mask : ~uint64_t{0};
+    h ^= (sig[i] ^ flip) & mask;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+} // namespace
+
+void equiv_classes::build(const net::aig_network& aig,
+                          const sim::signature_table& sig,
+                          uint64_t last_word_mask)
+{
+  classes_.clear();
+  live_classes_ = 0;
+  class_id_.assign(aig.size(), no_class);
+  phase_.assign(aig.size(), false);
+
+  // Group by (hash of normalized signature); exact-equality verified by
+  // comparing against the bucket representative to be hash-collision safe.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  const auto equal_normalized = [&](net::node a, net::node b) {
+    const uint64_t flip =
+        (phase_[a] != phase_[b]) ? ~uint64_t{0} : uint64_t{0};
+    const auto& sa = sig[a];
+    const auto& sb = sig[b];
+    if (sa.size() != sb.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      const uint64_t mask =
+          i + 1u == sa.size() ? last_word_mask : ~uint64_t{0};
+      if ((sa[i] & mask) != ((sb[i] ^ flip) & mask)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<std::vector<net::node>> groups;
+  const auto insert_node = [&](net::node n) {
+    if (sig[n].empty()) {
+      return;
+    }
+    phase_[n] = sig[n][0] & 1u;
+    const uint64_t key = signature_key(sig[n], phase_[n], last_word_mask);
+    auto& bucket = buckets[key];
+    for (const uint32_t gi : bucket) {
+      if (equal_normalized(groups[gi].front(), n)) {
+        groups[gi].push_back(n);
+        return;
+      }
+    }
+    bucket.push_back(static_cast<uint32_t>(groups.size()));
+    groups.push_back({n});
+  };
+
+  insert_node(0u); // constant-zero node
+  aig.foreach_pi([&](net::node n) { insert_node(n); });
+  aig.foreach_gate([&](net::node n) { insert_node(n); });
+
+  for (auto& g : groups) {
+    if (g.size() >= 2u) {
+      new_class(std::move(g));
+    }
+  }
+}
+
+uint32_t equiv_classes::new_class(std::vector<net::node> nodes)
+{
+  const uint32_t id = static_cast<uint32_t>(classes_.size());
+  for (const net::node n : nodes) {
+    class_id_[n] = id;
+  }
+  classes_.push_back(std::move(nodes));
+  ++live_classes_;
+  return id;
+}
+
+std::size_t equiv_classes::refine_with_word(const sim::signature_table& sig,
+                                            std::size_t word,
+                                            uint64_t word_mask)
+{
+  std::size_t created = 0;
+  const std::size_t existing = classes_.size();
+  for (uint32_t c = 0; c < existing; ++c) {
+    auto& members = classes_[c];
+    if (members.size() < 2u) {
+      continue;
+    }
+    // Group members by their normalized word value.
+    std::unordered_map<uint64_t, std::vector<net::node>> parts;
+    for (const net::node n : members) {
+      const uint64_t w = word < sig[n].size() ? sig[n][word] : 0u;
+      parts[(w ^ (phase_[n] ? ~uint64_t{0} : 0u)) & word_mask].push_back(n);
+    }
+    if (parts.size() == 1u) {
+      continue;
+    }
+    // The group containing the first (lowest-id) member keeps the id.
+    const net::node keep = members.front();
+    std::vector<net::node> kept;
+    for (auto& [key, part] : parts) {
+      std::sort(part.begin(), part.end());
+      if (part.front() == keep) {
+        kept = std::move(part);
+      } else {
+        ++created;
+        new_class(std::move(part));
+      }
+    }
+    classes_[c] = std::move(kept);
+    dissolve_if_singleton(c);
+  }
+  // Newly created classes may themselves be singletons (cannot happen —
+  // groups of one are still classes here; dissolve them).
+  for (uint32_t c = static_cast<uint32_t>(existing);
+       c < classes_.size(); ++c) {
+    dissolve_if_singleton(c);
+  }
+  return created;
+}
+
+std::size_t equiv_classes::split_by_keys(uint32_t c,
+                                         const std::vector<uint64_t>& keys)
+{
+  auto& members = classes_.at(c);
+  if (keys.size() != members.size()) {
+    throw std::invalid_argument{"split_by_keys: key count mismatch"};
+  }
+  std::unordered_map<uint64_t, std::vector<net::node>> parts;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    parts[keys[i]].push_back(members[i]);
+  }
+  if (parts.size() == 1u) {
+    return 0;
+  }
+  std::size_t created = 0;
+  const net::node keep = members.front();
+  std::vector<net::node> kept;
+  std::vector<uint32_t> fresh;
+  for (auto& [key, part] : parts) {
+    std::sort(part.begin(), part.end());
+    if (part.front() == keep) {
+      kept = std::move(part);
+    } else {
+      ++created;
+      fresh.push_back(new_class(std::move(part)));
+    }
+  }
+  classes_[c] = std::move(kept);
+  dissolve_if_singleton(c);
+  for (const uint32_t f : fresh) {
+    dissolve_if_singleton(f);
+  }
+  return created;
+}
+
+void equiv_classes::remove_member(net::node n)
+{
+  const uint32_t c = class_of(n);
+  if (c == no_class) {
+    return;
+  }
+  auto& members = classes_[c];
+  members.erase(std::remove(members.begin(), members.end(), n),
+                members.end());
+  class_id_[n] = no_class;
+  dissolve_if_singleton(c);
+}
+
+void equiv_classes::dissolve_if_singleton(uint32_t c)
+{
+  auto& members = classes_[c];
+  if (members.size() != 1u) {
+    return; // larger classes stay; empty ones were dissolved already
+  }
+  class_id_[members.front()] = no_class;
+  members.clear();
+  --live_classes_;
+}
+
+std::size_t equiv_classes::num_candidate_nodes() const
+{
+  std::size_t count = 0;
+  for (const auto& c : classes_) {
+    count += c.size();
+  }
+  return count;
+}
+
+} // namespace stps::sweep

@@ -1,0 +1,83 @@
+/// \file equiv_classes.hpp
+/// \brief Complement-aware candidate equivalence classes.
+///
+/// Nodes that produce the same simulation signature *up to complement*
+/// are candidates for merging (§II-C).  Signatures are normalized by
+/// their first pattern bit, so a node and its inversion land in one
+/// class; a member's *phase* is that first bit, and two members n, m are
+/// conjectured to satisfy `n == m ⊕ (phase(n) ⊕ phase(m))`.  The
+/// constant-zero node participates like any other node, which makes the
+/// all-constant class (§IV, constant propagation) just another class
+/// whose representative is node 0.  Classes only ever split: either by
+/// new simulation words (counter-examples) or by exact resolution.
+#pragma once
+
+#include "network/aig.hpp"
+#include "sim/patterns.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace stps::sweep {
+
+class equiv_classes
+{
+public:
+  static constexpr uint32_t no_class = ~uint32_t{0};
+
+  /// Groups the constant node and all live gates (and PIs) by normalized
+  /// signature; singleton classes are dropped.  \p last_word_mask selects
+  /// the valid bits of the final signature word (sim::tail_mask), so the
+  /// zero padding cannot break complement normalization.
+  void build(const net::aig_network& aig, const sim::signature_table& sig,
+             uint64_t last_word_mask = ~uint64_t{0});
+
+  /// Splits every class using signature word \p word only (the word the
+  /// newest counter-examples landed in), masked by \p word_mask.
+  /// Returns the number of new classes created.
+  std::size_t refine_with_word(const sim::signature_table& sig,
+                               std::size_t word,
+                               uint64_t word_mask = ~uint64_t{0});
+
+  /// Splits class \p c by caller-provided exact keys (e.g. window truth
+  /// tables): members with equal keys stay together.  Returns the number
+  /// of new classes created.
+  std::size_t split_by_keys(uint32_t c, const std::vector<uint64_t>& keys);
+
+  uint32_t class_of(net::node n) const
+  {
+    return n < class_id_.size() ? class_id_[n] : no_class;
+  }
+  /// Phase of a member: first signature bit at build time.
+  bool phase(net::node n) const { return phase_[n]; }
+  /// Conjectured complement relation between two members of one class.
+  bool complemented(net::node a, net::node b) const
+  {
+    return phase(a) != phase(b);
+  }
+
+  const std::vector<net::node>& members(uint32_t c) const
+  {
+    return classes_.at(c);
+  }
+  std::size_t num_classes() const noexcept { return live_classes_; }
+  std::size_t num_class_ids() const noexcept { return classes_.size(); }
+
+  /// Removes a node from its class (after merge or don't-touch); classes
+  /// shrinking to one member are dissolved.
+  void remove_member(net::node n);
+
+  /// Sum of members over all live classes.
+  std::size_t num_candidate_nodes() const;
+
+private:
+  uint32_t new_class(std::vector<net::node> nodes);
+  void dissolve_if_singleton(uint32_t c);
+
+  std::vector<std::vector<net::node>> classes_;
+  std::vector<uint32_t> class_id_;
+  std::vector<bool> phase_;
+  std::size_t live_classes_ = 0;
+};
+
+} // namespace stps::sweep

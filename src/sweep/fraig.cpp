@@ -1,0 +1,129 @@
+#include "sweep/fraig.hpp"
+
+#include "network/traversal.hpp"
+#include "sat/encoder.hpp"
+#include "sim/bitwise_sim.hpp"
+#include "sweep/equiv_classes.hpp"
+
+#include <chrono>
+
+namespace stps::sweep {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start)
+{
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+} // namespace
+
+sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
+{
+  sweep_stats stats;
+  const auto t_total = clock_type::now();
+  stats.gates_before = aig.num_gates();
+  stats.levels_before = net::depth(aig);
+
+  sat::solver solver;
+  sat::aig_encoder encoder{aig, solver};
+
+  // Initial simulation (guided, like `&fraig -x`) and candidate classes.
+  sim::pattern_set patterns;
+  if (params.use_guided_patterns) {
+    guided_pattern_config config;
+    config.base_patterns = params.num_patterns;
+    config.seed = params.seed;
+    guided_pattern_result guided = sat_guided_patterns(aig, encoder, config);
+    patterns = std::move(guided.patterns);
+    stats.sat_calls_total += guided.sat_calls;
+    stats.sim_seconds += guided.sim_seconds;
+    stats.sat_seconds += guided.sat_seconds;
+    for (const auto& [n, value] : guided.proven_constants) {
+      if (!aig.is_dead(n)) {
+        ++stats.constant_merges;
+        ++stats.merges;
+        aig.substitute_node(n, aig.get_constant(value));
+      }
+    }
+  } else {
+    patterns = sim::pattern_set::random(aig.num_pis(), params.num_patterns,
+                                        params.seed);
+  }
+  auto t_sim = clock_type::now();
+  sim::signature_table sig = sim::simulate_aig(aig, patterns);
+  equiv_classes classes;
+  classes.build(aig, sig, sim::tail_mask(patterns.num_patterns()));
+  stats.sim_seconds += seconds_since(t_sim);
+
+  const std::vector<net::node> order = net::topo_order(aig);
+  for (const net::node n : order) {
+    if (aig.is_dead(n)) {
+      continue;
+    }
+    for (;;) {
+      const uint32_t c = classes.class_of(n);
+      if (c == equiv_classes::no_class) {
+        break;
+      }
+      // Representative: the earliest live member preceding n.
+      net::node rep = 0;
+      bool have_rep = false;
+      for (const net::node m : classes.members(c)) {
+        if (m >= n) {
+          break;
+        }
+        if (!aig.is_dead(m)) {
+          rep = m;
+          have_rep = true;
+          break;
+        }
+      }
+      if (!have_rep) {
+        break; // n is (or became) the class representative
+      }
+      const bool complement = classes.complemented(n, rep);
+
+      const auto t_sat = clock_type::now();
+      ++stats.sat_calls_total;
+      const sat::result r = encoder.prove_equivalent(
+          net::signal{n, false}, net::signal{rep, false}, complement,
+          params.conflict_budget);
+      stats.sat_seconds += seconds_since(t_sat);
+
+      if (r == sat::result::unsat) {
+        classes.remove_member(n);
+        if (aig.is_constant(rep)) {
+          ++stats.constant_merges;
+        }
+        ++stats.merges;
+        aig.substitute_node(n, net::signal{rep, complement});
+        break;
+      }
+      if (r == sat::result::unknown) {
+        ++stats.dont_touch;
+        classes.remove_member(n);
+        break;
+      }
+      // Counter-example: append, re-simulate the whole network
+      // bit-parallel (the baseline's cost), refine every class.
+      ++stats.sat_calls_satisfiable;
+      ++stats.ce_patterns;
+      const auto t_ce = clock_type::now();
+      patterns.add_pattern(encoder.model_inputs());
+      sim::resimulate_aig_last_word(aig, patterns, sig);
+      classes.refine_with_word(sig, patterns.num_words() - 1u,
+                               sim::tail_mask(patterns.num_patterns()));
+      stats.sim_seconds += seconds_since(t_ce);
+    }
+  }
+
+  aig.cleanup_dangling();
+  stats.gates_after = aig.num_gates();
+  stats.total_seconds = seconds_since(t_total);
+  return stats;
+}
+
+} // namespace stps::sweep

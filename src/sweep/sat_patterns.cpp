@@ -1,0 +1,112 @@
+#include "sweep/sat_patterns.hpp"
+
+#include "sim/bitwise_sim.hpp"
+
+#include <bit>
+#include <chrono>
+
+namespace stps::sweep {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double seconds_since(clock_type::time_point start)
+{
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// Number of ones in a signature, respecting the pattern tail.
+uint64_t ones_count(const std::vector<uint64_t>& sig)
+{
+  uint64_t n = 0;
+  for (const uint64_t w : sig) {
+    n += std::popcount(w);
+  }
+  return n;
+}
+
+} // namespace
+
+guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
+                                          sat::aig_encoder& encoder,
+                                          const guided_pattern_config& config)
+{
+  guided_pattern_result result;
+  result.patterns = sim::pattern_set::random(
+      aig.num_pis(), config.base_patterns, config.seed);
+
+  std::vector<bool> proven(aig.size(), false);
+
+  // ---- Round 1: eliminate false constant candidates. -------------------
+  for (uint32_t iter = 0; iter < config.round1_iterations; ++iter) {
+    auto t_sim = clock_type::now();
+    const sim::signature_table sig = sim::simulate_aig(aig, result.patterns);
+    result.sim_seconds += seconds_since(t_sim);
+    const uint64_t total = result.patterns.num_patterns();
+    bool progress = false;
+    aig.foreach_gate([&](net::node n) {
+      if (proven[n]) {
+        return;
+      }
+      const uint64_t ones = ones_count(sig[n]);
+      if (ones != 0u && ones != total) {
+        return; // signature already toggles
+      }
+      const bool looks_constant = ones != 0u;
+      ++result.sat_calls;
+      // One query settles it: SAT hands back a witness pattern breaking
+      // the false candidacy, UNSAT proves the constant.
+      const auto t_sat = clock_type::now();
+      const sat::result r = encoder.prove_constant(
+          net::signal{n, false}, looks_constant, config.conflict_budget);
+      result.sat_seconds += seconds_since(t_sat);
+      if (r == sat::result::sat) {
+        ++result.satisfiable_calls;
+        result.patterns.add_pattern(encoder.model_inputs());
+        ++result.patterns_added;
+        progress = true;
+      } else if (r == sat::result::unsat) {
+        proven[n] = true;
+        result.proven_constants.emplace_back(n, looks_constant);
+      }
+    });
+    if (!progress) {
+      break;
+    }
+  }
+
+  // ---- Round 2: break up near-constant signatures. ----------------------
+  auto t_sim = clock_type::now();
+  const sim::signature_table sig = sim::simulate_aig(aig, result.patterns);
+  result.sim_seconds += seconds_since(t_sim);
+  const uint64_t total = result.patterns.num_patterns();
+  std::size_t queries = 0;
+  aig.foreach_gate([&](net::node n) {
+    if (proven[n] || queries >= config.max_round2_queries) {
+      return;
+    }
+    const uint64_t ones = ones_count(sig[n]);
+    const bool few_ones = ones != 0u && ones <= config.round2_ones_threshold;
+    const bool few_zeros =
+        ones != total && total - ones <= config.round2_ones_threshold;
+    if (!few_ones && !few_zeros) {
+      return;
+    }
+    ++queries;
+    ++result.sat_calls;
+    const auto t_sat = clock_type::now();
+    const auto witness = encoder.find_assignment(
+        net::signal{n, false}, few_ones, config.conflict_budget);
+    result.sat_seconds += seconds_since(t_sat);
+    if (witness.has_value()) {
+      ++result.satisfiable_calls;
+      result.patterns.add_pattern(*witness);
+      ++result.patterns_added;
+    }
+  });
+
+  return result;
+}
+
+} // namespace stps::sweep

@@ -1,0 +1,58 @@
+/// \file sat_patterns.hpp
+/// \brief Two-round SAT-guided initial pattern generation (§IV-A).
+///
+/// Random patterns leave many gates looking constant or near-constant,
+/// which bloats candidate equivalence classes with false members.  The
+/// paper (following Amarù et al., DAC'20 [6]) generates additional
+/// patterns with a SAT solver:
+///
+/// * **Round 1** — for every gate whose signature is all-zeros or
+///   all-ones, ask SAT for an input assignment driving it to the other
+///   value.  A satisfying assignment becomes a new pattern (the gate was
+///   a false constant candidate); UNSAT *proves* the gate constant, and
+///   it is reported for immediate constant propagation (Alg. 2 line 3).
+/// * **Round 2** — for gates whose signature has only a few ones (or
+///   zeros), ask SAT for assignments producing the minority value, so
+///   signatures gain toggles and distinguish more class candidates.
+#pragma once
+
+#include "network/aig.hpp"
+#include "sat/encoder.hpp"
+#include "sim/patterns.hpp"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace stps::sweep {
+
+struct guided_pattern_config
+{
+  uint64_t base_patterns = 1024;   ///< random patterns before guidance
+  uint64_t seed = 0x5eed;          ///< RNG seed for the random base
+  int64_t conflict_budget = 1000;  ///< per-query budget (unknown → skip)
+  uint32_t round1_iterations = 2;  ///< re-simulate & retry rounds
+  uint64_t round2_ones_threshold = 2;  ///< "few ones" bound for round 2
+  std::size_t max_round2_queries = 512;
+};
+
+struct guided_pattern_result
+{
+  sim::pattern_set patterns;
+  /// Gates proven constant in round 1: (node, constant value).
+  std::vector<std::pair<net::node, bool>> proven_constants;
+  uint64_t sat_calls = 0;        ///< total SAT queries issued
+  uint64_t satisfiable_calls = 0;
+  uint64_t patterns_added = 0;   ///< guided patterns appended to the base
+  double sim_seconds = 0.0;      ///< time in the simulator
+  double sat_seconds = 0.0;      ///< time in the SAT queries
+};
+
+/// Runs both guidance rounds; the encoder accumulates the circuit CNF, so
+/// passing the sweeper's own encoder shares learned clauses with the
+/// later equivalence queries.
+guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
+                                          sat::aig_encoder& encoder,
+                                          const guided_pattern_config& config);
+
+} // namespace stps::sweep

@@ -1,0 +1,363 @@
+#include "sweep/stp_sweeper.hpp"
+
+#include "core/stp_eval.hpp"
+#include "core/stp_simulator.hpp"
+#include "cut/cuts.hpp"
+#include "cut/tree_cuts.hpp"
+#include "network/convert.hpp"
+#include "network/traversal.hpp"
+#include "sat/encoder.hpp"
+#include "sim/bitwise_sim.hpp"
+#include "sweep/equiv_classes.hpp"
+#include "sweep/tfi_manager.hpp"
+#include "tt/operations.hpp"
+
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+namespace stps::sweep {
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+using knode = net::klut_network::node;
+
+double seconds_since(clock_type::time_point start)
+{
+  return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// Incremental counter-example simulation on the tree-cut-collapsed
+/// k-LUT view of the AIG (§IV-A: "convert nodes not within equivalence
+/// classes into k-LUTs, and then simulate candidate nodes").  Built once
+/// — merges preserve node functions, so the snapshot stays valid — and
+/// re-simulated one word at a time as CEs arrive.
+class ce_simulator
+{
+public:
+  void build(const net::aig_network& aig,
+             std::span<const net::node> target_gates, uint32_t collapse_limit,
+             const sim::pattern_set& patterns)
+  {
+    conv_ = net::aig_to_klut(aig);
+    std::vector<knode> targets;
+    targets.reserve(target_gates.size());
+    for (const net::node n : target_gates) {
+      targets.push_back(conv_.node_map[n]);
+    }
+    collapsed_ = cut::collapse_to_cuts(conv_.klut, targets, collapse_limit);
+
+    // Restrict evaluation to the targets' cones.
+    needed_.assign(collapsed_.net.size(), false);
+    std::vector<knode> frontier;
+    for (const knode t : targets) {
+      const knode m = collapsed_.node_map[t];
+      if (collapsed_.net.is_gate(m) && !needed_[m]) {
+        needed_[m] = true;
+        frontier.push_back(m);
+      }
+    }
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      for (const knode f : collapsed_.net.fanins(frontier[i])) {
+        if (collapsed_.net.is_gate(f) && !needed_[f]) {
+          needed_[f] = true;
+          frontier.push_back(f);
+        }
+      }
+    }
+
+    scratch_.reserve(collapsed_.net.max_fanin_size());
+    csig_.assign(collapsed_.net.size(), {});
+    for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+      simulate_word(patterns, w);
+    }
+  }
+
+  /// Recomputes the last signature word after a CE was appended.
+  void resim_last_word(const sim::pattern_set& patterns)
+  {
+    simulate_word(patterns, patterns.num_words() - 1u);
+  }
+
+  /// Signature word of an original AIG node (constant, PI, or target).
+  uint64_t node_word(const net::aig_network& aig, net::node n,
+                     const sim::pattern_set& patterns, std::size_t word) const
+  {
+    if (aig.is_constant(n)) {
+      return 0u;
+    }
+    if (aig.is_pi(n)) {
+      return patterns.input_bits(n - 1u)[word];
+    }
+    const knode m = collapsed_.node_map[conv_.node_map[n]];
+    return csig_[m][word];
+  }
+
+private:
+  void simulate_word(const sim::pattern_set& patterns, std::size_t word)
+  {
+    const auto grow = [&](std::vector<uint64_t>& row) {
+      if (row.size() <= word) {
+        row.resize(word + 1u, 0u);
+      }
+    };
+    auto& net = collapsed_.net;
+    grow(csig_[0]);
+    csig_[0][word] = 0u;
+    grow(csig_[1]);
+    csig_[1][word] = ~uint64_t{0};
+    net.foreach_pi([&](knode n) {
+      grow(csig_[n]);
+      csig_[n][word] = patterns.input_bits(n - 2u)[word];
+    });
+    std::vector<uint64_t> ins;
+    net.foreach_gate([&](knode n) {
+      if (!needed_[n]) {
+        return;
+      }
+      const auto& fis = net.fanins(n);
+      ins.resize(fis.size());
+      for (std::size_t i = 0; i < fis.size(); ++i) {
+        ins[i] = csig_[fis[i]][word];
+      }
+      grow(csig_[n]);
+      csig_[n][word] = core::stp_evaluate_word(net.table(n), ins, scratch_);
+    });
+  }
+
+  net::aig_to_klut_result conv_;
+  cut::collapse_result collapsed_;
+  std::vector<bool> needed_;
+  sim::signature_table csig_;
+  core::stp_scratch scratch_;
+};
+
+} // namespace
+
+sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
+{
+  sweep_stats stats;
+  const auto t_total = clock_type::now();
+  stats.gates_before = aig.num_gates();
+  stats.levels_before = net::depth(aig);
+
+  sat::solver solver;
+  sat::aig_encoder encoder{aig, solver};
+
+  // ---- Initial patterns (Alg. 2 line 2) + constant propagation (line 3).
+  sim::pattern_set patterns;
+  if (params.use_guided_patterns) {
+    guided_pattern_result guided = sat_guided_patterns(aig, encoder,
+                                                       params.guided);
+    patterns = std::move(guided.patterns);
+    stats.sat_calls_total += guided.sat_calls;
+    stats.sim_seconds += guided.sim_seconds;
+    stats.sat_seconds += guided.sat_seconds;
+    for (const auto& [n, value] : guided.proven_constants) {
+      if (!aig.is_dead(n)) {
+        ++stats.constant_merges;
+        ++stats.merges;
+        aig.substitute_node(n, aig.get_constant(value));
+      }
+    }
+  } else {
+    patterns = sim::pattern_set::random(
+        aig.num_pis(), params.guided.base_patterns, params.guided.seed);
+  }
+
+  // ---- Initial STP simulation and equivalence classes (line 3). --------
+  auto t_sim = clock_type::now();
+  const core::stp_simulator stp_sim;
+  sim::signature_table sig = stp_sim.simulate_aig(aig, patterns);
+  equiv_classes classes;
+  classes.build(aig, sig, sim::tail_mask(patterns.num_patterns()));
+  stats.sim_seconds += seconds_since(t_sim);
+
+  // ---- Collapsed k-LUT view for CE simulation (§III-B, §IV-A). ---------
+  ce_simulator cesim;
+  if (params.use_collapsed_ce_simulation) {
+    t_sim = clock_type::now();
+    std::vector<net::node> target_gates;
+    for (uint32_t c = 0; c < classes.num_class_ids(); ++c) {
+      for (const net::node m : classes.members(c)) {
+        if (aig.is_and(m) && !aig.is_dead(m)) {
+          target_gates.push_back(m);
+        }
+      }
+    }
+    cesim.build(aig, target_gates, params.collapse_limit, patterns);
+    stats.sim_seconds += seconds_since(t_sim);
+  }
+
+  // ---- Window resolution cache: class id → (size when checked, exact).
+  std::unordered_map<uint32_t, std::pair<std::size_t, bool>> resolve_cache;
+  std::vector<net::node> support_scratch;
+  const auto maybe_resolve = [&](uint32_t c) -> bool {
+    if (!params.use_window_resolution || c == equiv_classes::no_class) {
+      return false;
+    }
+    const auto& members = classes.members(c);
+    if (const auto it = resolve_cache.find(c);
+        it != resolve_cache.end() && it->second.first == members.size()) {
+      return it->second.second;
+    }
+    if (!net::bounded_support(aig, members, params.window_max_support,
+                              support_scratch)) {
+      resolve_cache[c] = {members.size(), false};
+      return false;
+    }
+    // Exhaustive STP simulation over the window: exact functions of all
+    // members over the common support decide the class once and for all.
+    const auto t_win = clock_type::now();
+    const cut::cut_t window{support_scratch};
+    std::map<tt::truth_table, uint64_t> groups;
+    std::vector<uint64_t> keys;
+    keys.reserve(members.size());
+    const std::vector<net::node> snapshot{members.begin(), members.end()};
+    for (const net::node m : snapshot) {
+      tt::truth_table f =
+          aig.is_constant(m)
+              ? tt::make_const0(
+                    static_cast<uint32_t>(window.leaves.size()))
+              : cut::cut_function(aig, m, window);
+      if (classes.phase(m)) {
+        f = tt::unary_not(f);
+      }
+      const auto [it, inserted] = groups.emplace(std::move(f), groups.size());
+      keys.push_back(it->second);
+    }
+    classes.split_by_keys(c, keys);
+    // Every surviving sub-class is exact now.
+    for (const net::node m : snapshot) {
+      const uint32_t cid = classes.class_of(m);
+      if (cid != equiv_classes::no_class) {
+        resolve_cache[cid] = {classes.members(cid).size(), true};
+      }
+    }
+    stats.sim_seconds += seconds_since(t_win);
+    const uint32_t cid_first = classes.class_of(snapshot.front());
+    return cid_first != equiv_classes::no_class;
+  };
+
+  // ---- Candidate loop: reverse topological order (lines 4-32). ---------
+  tfi_manager tfi{aig, params.tfi_limit};
+  std::vector<bool> dont_touch(aig.size(), false);
+  const std::vector<net::node> order = net::reverse_topo_order(aig);
+
+  for (const net::node n : order) {
+    if (aig.is_dead(n) || dont_touch[n]) {
+      continue; // skip(candidate), lines 7-9
+    }
+    for (;;) {
+      uint32_t c = classes.class_of(n);
+      if (c == equiv_classes::no_class) {
+        break;
+      }
+      // Drop members killed by cascaded merges.
+      {
+        const std::vector<net::node> snapshot{classes.members(c).begin(),
+                                              classes.members(c).end()};
+        for (const net::node m : snapshot) {
+          if (aig.is_and(m) && aig.is_dead(m)) {
+            classes.remove_member(m);
+          }
+        }
+        c = classes.class_of(n);
+        if (c == equiv_classes::no_class) {
+          break;
+        }
+      }
+
+      maybe_resolve(c);
+      c = classes.class_of(n);
+      if (c == equiv_classes::no_class) {
+        break;
+      }
+      const auto it = resolve_cache.find(c);
+      const bool resolved =
+          it != resolve_cache.end() &&
+          it->second.first == classes.members(c).size() && it->second.second;
+
+      const std::vector<net::node> drivers =
+          tfi.order_drivers(n, classes.members(c));
+      if (drivers.empty()) {
+        break; // n is the representative; later candidates may use it
+      }
+      const net::node driver = drivers.front();
+      const bool complement = classes.complemented(n, driver);
+
+      if (resolved) {
+        // Equivalence was proven by exhaustive window simulation; merge
+        // without consulting SAT at all.
+        classes.remove_member(n);
+        ++stats.window_merges;
+        ++stats.merges;
+        if (aig.is_constant(driver)) {
+          ++stats.constant_merges;
+        }
+        aig.substitute_node(n, net::signal{driver, complement});
+        break;
+      }
+
+      const auto t_sat = clock_type::now();
+      ++stats.sat_calls_total;
+      const sat::result r = encoder.prove_equivalent(
+          net::signal{n, false}, net::signal{driver, false}, complement,
+          params.conflict_budget);
+      stats.sat_seconds += seconds_since(t_sat);
+
+      if (r == sat::result::unsat) {
+        classes.remove_member(n);
+        ++stats.merges;
+        if (aig.is_constant(driver)) {
+          ++stats.constant_merges;
+        }
+        aig.substitute_node(n, net::signal{driver, complement});
+        break;
+      }
+      if (r == sat::result::unknown) {
+        dont_touch[n] = true; // mark_dont_touch, lines 19-21
+        ++stats.dont_touch;
+        classes.remove_member(n);
+        break;
+      }
+
+      // Counter-example (lines 26-28): STP-simulate class nodes only.
+      ++stats.sat_calls_satisfiable;
+      ++stats.ce_patterns;
+      t_sim = clock_type::now();
+      patterns.add_pattern(encoder.model_inputs());
+      const std::size_t last = patterns.num_words() - 1u;
+      if (params.use_collapsed_ce_simulation) {
+        cesim.resim_last_word(patterns);
+        for (uint32_t cid = 0; cid < classes.num_class_ids(); ++cid) {
+          for (const net::node m : classes.members(cid)) {
+            auto& row = sig[m];
+            if (row.size() <= last) {
+              row.resize(last + 1u, 0u);
+            }
+            if (!aig.is_dead(m) || !aig.is_and(m)) {
+              row[last] = cesim.node_word(aig, m, patterns, last);
+            }
+          }
+        }
+        if (sig[0].size() <= last) {
+          sig[0].resize(last + 1u, 0u);
+        }
+      } else {
+        sim::resimulate_aig_last_word(aig, patterns, sig);
+      }
+      classes.refine_with_word(sig, last,
+                               sim::tail_mask(patterns.num_patterns()));
+      stats.sim_seconds += seconds_since(t_sim);
+    }
+  }
+
+  aig.cleanup_dangling();
+  stats.gates_after = aig.num_gates();
+  stats.total_seconds = seconds_since(t_total);
+  return stats;
+}
+
+} // namespace stps::sweep

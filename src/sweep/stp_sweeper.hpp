@@ -1,0 +1,50 @@
+/// \file stp_sweeper.hpp
+/// \brief The paper's STP-based SAT-sweeping framework (§IV, Algorithm 2).
+///
+/// Differences from the baseline FRAIG sweeper (fraig.hpp), exactly the
+/// paper's contributions:
+///
+/// 1. **SAT-guided initial patterns** (§IV-A, two rounds): constants are
+///    proven and propagated up front, and near-constant signatures are
+///    diversified, so the initial equivalence classes contain far fewer
+///    false candidates.
+/// 2. **Reverse topological candidate order** with complement-aware
+///    generalized classes (Alg. 2 lines 4, 10-11).
+/// 3. **TFI-bounded driver selection** (lines 12-17; limit n = 1000).
+/// 4. **Exhaustive window resolution**: a class whose members' combined
+///    support fits in a window (< 16 leaves) is resolved *exactly* by
+///    STP simulation over exhaustive patterns — remaining members are
+///    provably equivalent and merge without any SAT call, and false
+///    members are split away without producing counter-examples.
+/// 5. **STP counter-example simulation**: when SAT does return a CE, only
+///    nodes in equivalence classes are re-simulated, on a k-LUT network
+///    collapsed with the tree-cut algorithm (§III-B) — not the whole AIG.
+/// 6. **unDET handling**: budget-exhausted queries mark the candidate
+///    don't-touch (lines 19-21).
+#pragma once
+
+#include "network/aig.hpp"
+#include "sweep/sat_patterns.hpp"
+#include "sweep/sweep_stats.hpp"
+
+#include <cstdint>
+
+namespace stps::sweep {
+
+struct stp_sweep_params
+{
+  guided_pattern_config guided{};  ///< initial pattern generation
+  bool use_guided_patterns = true; ///< ablation B: false = random only
+  bool use_window_resolution = true; ///< ablation: exhaustive windows
+  bool use_collapsed_ce_simulation = true; ///< ablation: STP CE windows
+
+  int64_t conflict_budget = -1;  ///< equivalence queries; -1 = unlimited
+  std::size_t tfi_limit = 1000;  ///< Alg. 2 line 1
+  uint32_t window_max_support = 15; ///< "< 16 leaves" (§IV-A)
+  uint32_t collapse_limit = 8;   ///< tree-cut leaf bound for CE windows
+};
+
+/// Sweeps \p aig in place; returns the Table II counters.
+sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params);
+
+} // namespace stps::sweep

@@ -1,0 +1,29 @@
+/// \file sweep_stats.hpp
+/// \brief Counters shared by both sweepers — the columns of Table II.
+#pragma once
+
+#include <cstdint>
+
+namespace stps::sweep {
+
+struct sweep_stats
+{
+  uint32_t gates_before = 0;  ///< "Gate"
+  uint32_t gates_after = 0;   ///< "Result"
+  uint32_t levels_before = 0; ///< "Lev"
+
+  uint64_t sat_calls_satisfiable = 0; ///< "SAT calls" (CE-producing)
+  uint64_t sat_calls_total = 0;       ///< "Total SAT calls"
+
+  uint64_t merges = 0;           ///< proven-equivalent substitutions
+  uint64_t constant_merges = 0;  ///< constants propagated
+  uint64_t window_merges = 0;    ///< merges proven by exhaustive windows
+  uint64_t dont_touch = 0;       ///< unDET-marked candidates
+  uint64_t ce_patterns = 0;      ///< counter-examples simulated
+
+  double sim_seconds = 0.0;   ///< "Simulation" (initial + CE)
+  double sat_seconds = 0.0;
+  double total_seconds = 0.0; ///< "Total runtime"
+};
+
+} // namespace stps::sweep

@@ -1,0 +1,34 @@
+#include "sweep/tfi_manager.hpp"
+
+namespace stps::sweep {
+
+std::vector<net::node> tfi_manager::order_drivers(
+    net::node candidate, std::span<const net::node> members)
+{
+  const std::vector<net::node> cone =
+      net::transitive_fanin(aig_, candidate, limit_);
+  if (in_tfi_.size() < aig_.size()) {
+    in_tfi_.resize(aig_.size(), false);
+  }
+  for (const net::node m : cone) {
+    in_tfi_[m] = true;
+  }
+
+  std::vector<net::node> preferred;
+  std::vector<net::node> fallback;
+  for (const net::node m : members) {
+    if (m >= candidate || aig_.is_dead(m)) {
+      continue;
+    }
+    (in_tfi_[m] ? preferred : fallback).push_back(m);
+  }
+
+  for (const net::node m : cone) {
+    in_tfi_[m] = false;
+  }
+
+  preferred.insert(preferred.end(), fallback.begin(), fallback.end());
+  return preferred;
+}
+
+} // namespace stps::sweep

@@ -1,0 +1,42 @@
+/// \file tfi_manager.hpp
+/// \brief The transitive-fanin manager of the paper's ecosystem (Fig. 2).
+///
+/// Algorithm 2 bounds the nodes compared per candidate by its transitive
+/// fanin with limit n = 1000 (line 1, line 13).  The manager orders a
+/// candidate's potential drivers (its class co-members) so that members
+/// inside the bounded TFI cone come first — merging onto a node already
+/// feeding the candidate maximizes sharing (QoR) — followed by the
+/// remaining earlier members.
+#pragma once
+
+#include "network/aig.hpp"
+#include "network/traversal.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stps::sweep {
+
+class tfi_manager
+{
+public:
+  tfi_manager(const net::aig_network& aig, std::size_t limit)
+      : aig_{aig}, limit_{limit}, in_tfi_(aig.size(), false)
+  {
+  }
+
+  std::size_t limit() const noexcept { return limit_; }
+
+  /// Drivers for \p candidate among \p members: live nodes with id less
+  /// than the candidate, TFI members first, each group in ascending id.
+  std::vector<net::node> order_drivers(net::node candidate,
+                                       std::span<const net::node> members);
+
+private:
+  const net::aig_network& aig_;
+  std::size_t limit_;
+  std::vector<bool> in_tfi_;
+};
+
+} // namespace stps::sweep

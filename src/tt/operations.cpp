@@ -1,0 +1,262 @@
+#include "tt/operations.hpp"
+
+#include <bit>
+#include <cassert>
+#include <random>
+#include <stdexcept>
+
+namespace stps::tt {
+
+namespace {
+
+/// Repeating bit patterns of the projections for the in-word variables.
+constexpr uint64_t proj_masks[6] = {
+    0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull};
+
+truth_table binary_op(const truth_table& a, const truth_table& b,
+                      uint64_t (*op)(uint64_t, uint64_t))
+{
+  if (a.num_vars() != b.num_vars()) {
+    throw std::invalid_argument{"binary_op: variable count mismatch"};
+  }
+  truth_table out{a.num_vars()};
+  for (std::size_t i = 0; i < a.num_words(); ++i) {
+    out.set_word(i, op(a.word(i), b.word(i)));
+  }
+  out.mask_padding();
+  return out;
+}
+
+} // namespace
+
+truth_table make_const0(uint32_t num_vars)
+{
+  return truth_table{num_vars};
+}
+
+truth_table make_const1(uint32_t num_vars)
+{
+  truth_table tt{num_vars};
+  for (std::size_t i = 0; i < tt.num_words(); ++i) {
+    tt.set_word(i, ~uint64_t{0});
+  }
+  tt.mask_padding();
+  return tt;
+}
+
+truth_table make_var(uint32_t num_vars, uint32_t var)
+{
+  if (var >= num_vars) {
+    throw std::invalid_argument{"make_var: variable out of range"};
+  }
+  truth_table tt{num_vars};
+  if (var < 6u) {
+    for (std::size_t i = 0; i < tt.num_words(); ++i) {
+      tt.set_word(i, proj_masks[var]);
+    }
+  } else {
+    const std::size_t period = std::size_t{1} << (var - 6u);
+    for (std::size_t i = 0; i < tt.num_words(); ++i) {
+      tt.set_word(i, (i / period) & 1u ? ~uint64_t{0} : 0u);
+    }
+  }
+  tt.mask_padding();
+  return tt;
+}
+
+truth_table make_and2() { return truth_table{2u, {0x8ull}}; }
+truth_table make_or2() { return truth_table{2u, {0xeull}}; }
+truth_table make_xor2() { return truth_table{2u, {0x6ull}}; }
+truth_table make_nand2() { return truth_table{2u, {0x7ull}}; }
+truth_table make_nor2() { return truth_table{2u, {0x1ull}}; }
+truth_table make_xnor2() { return truth_table{2u, {0x9ull}}; }
+truth_table make_implies2() { return truth_table{2u, {0xbull}}; } // !a | b, a=var1
+truth_table make_maj3() { return truth_table{3u, {0xe8ull}}; }
+
+truth_table make_random(uint32_t num_vars, uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  truth_table tt{num_vars};
+  for (std::size_t i = 0; i < tt.num_words(); ++i) {
+    tt.set_word(i, rng());
+  }
+  tt.mask_padding();
+  return tt;
+}
+
+truth_table unary_not(const truth_table& a)
+{
+  truth_table out{a.num_vars()};
+  for (std::size_t i = 0; i < a.num_words(); ++i) {
+    out.set_word(i, ~a.word(i));
+  }
+  out.mask_padding();
+  return out;
+}
+
+truth_table binary_and(const truth_table& a, const truth_table& b)
+{
+  return binary_op(a, b, [](uint64_t x, uint64_t y) { return x & y; });
+}
+
+truth_table binary_or(const truth_table& a, const truth_table& b)
+{
+  return binary_op(a, b, [](uint64_t x, uint64_t y) { return x | y; });
+}
+
+truth_table binary_xor(const truth_table& a, const truth_table& b)
+{
+  return binary_op(a, b, [](uint64_t x, uint64_t y) { return x ^ y; });
+}
+
+bool is_const0(const truth_table& a)
+{
+  for (std::size_t i = 0; i < a.num_words(); ++i) {
+    if (a.word(i) != 0u) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_const1(const truth_table& a)
+{
+  return is_const0(unary_not(a));
+}
+
+uint64_t count_ones(const truth_table& a)
+{
+  uint64_t n = 0;
+  for (std::size_t i = 0; i < a.num_words(); ++i) {
+    n += std::popcount(a.word(i));
+  }
+  return n;
+}
+
+double toggle_rate(const truth_table& a)
+{
+  if (a.num_bits() < 2u) {
+    return 0.0;
+  }
+  uint64_t toggles = 0;
+  for (uint64_t i = 1; i < a.num_bits(); ++i) {
+    toggles += a.bit(i) != a.bit(i - 1u);
+  }
+  return static_cast<double>(toggles) / static_cast<double>(a.num_bits());
+}
+
+truth_table cofactor0(const truth_table& a, uint32_t var)
+{
+  assert(var < a.num_vars());
+  truth_table out{a.num_vars()};
+  if (var < 6u) {
+    const uint64_t mask = ~proj_masks[var];
+    const uint32_t shift = 1u << var;
+    for (std::size_t i = 0; i < a.num_words(); ++i) {
+      const uint64_t lo = a.word(i) & mask;
+      out.set_word(i, lo | (lo << shift));
+    }
+  } else {
+    const std::size_t period = std::size_t{1} << (var - 6u);
+    for (std::size_t i = 0; i < a.num_words(); ++i) {
+      const std::size_t src = (i / period) & 1u ? i - period : i;
+      out.set_word(i, a.word(src));
+    }
+  }
+  out.mask_padding();
+  return out;
+}
+
+truth_table cofactor1(const truth_table& a, uint32_t var)
+{
+  assert(var < a.num_vars());
+  truth_table out{a.num_vars()};
+  if (var < 6u) {
+    const uint64_t mask = proj_masks[var];
+    const uint32_t shift = 1u << var;
+    for (std::size_t i = 0; i < a.num_words(); ++i) {
+      const uint64_t hi = a.word(i) & mask;
+      out.set_word(i, hi | (hi >> shift));
+    }
+  } else {
+    const std::size_t period = std::size_t{1} << (var - 6u);
+    for (std::size_t i = 0; i < a.num_words(); ++i) {
+      const std::size_t src = (i / period) & 1u ? i : i + period;
+      out.set_word(i, a.word(src));
+    }
+  }
+  out.mask_padding();
+  return out;
+}
+
+bool depends_on(const truth_table& a, uint32_t var)
+{
+  return cofactor0(a, var) != cofactor1(a, var);
+}
+
+truth_table compose(const truth_table& f, std::span<const truth_table> gs)
+{
+  if (gs.size() != f.num_vars()) {
+    throw std::invalid_argument{"compose: arity mismatch"};
+  }
+  if (gs.empty()) {
+    return f; // constant
+  }
+  const uint32_t num_vars = gs[0].num_vars();
+  for (const auto& g : gs) {
+    if (g.num_vars() != num_vars) {
+      throw std::invalid_argument{"compose: inner variable counts differ"};
+    }
+  }
+  // Evaluate f's Shannon expansion word-parallel over the g tables: this
+  // is exactly the block-halving STP pass described in DESIGN.md, applied
+  // at the truth-table level.
+  truth_table out{num_vars};
+  for (std::size_t w = 0; w < out.num_words(); ++w) {
+    // values[i] after round r holds the sub-block of f for suffix i
+    std::vector<uint64_t> values(f.num_bits());
+    for (uint64_t i = 0; i < f.num_bits(); ++i) {
+      values[i] = f.bit(i) ? ~uint64_t{0} : 0u;
+    }
+    for (uint32_t var = f.num_vars(); var-- > 0;) {
+      const uint64_t x = gs[var].word(w);
+      const uint64_t half = uint64_t{1} << var;
+      for (uint64_t i = 0; i < half; ++i) {
+        values[i] = (x & values[i + half]) | (~x & values[i]);
+      }
+    }
+    out.set_word(w, values[0]);
+  }
+  out.mask_padding();
+  return out;
+}
+
+truth_table extend_to(const truth_table& a, uint32_t num_vars)
+{
+  if (num_vars < a.num_vars()) {
+    throw std::invalid_argument{"extend_to: shrinking not allowed"};
+  }
+  if (num_vars == a.num_vars()) {
+    return a;
+  }
+  truth_table out{num_vars};
+  const uint64_t src_bits = a.num_bits();
+  if (src_bits >= 64u) {
+    for (std::size_t i = 0; i < out.num_words(); ++i) {
+      out.set_word(i, a.word(i % a.num_words()));
+    }
+  } else {
+    uint64_t word = 0;
+    for (uint64_t off = 0; off < 64u; off += src_bits) {
+      word |= a.word(0) << off;
+    }
+    for (std::size_t i = 0; i < out.num_words(); ++i) {
+      out.set_word(i, word);
+    }
+  }
+  out.mask_padding();
+  return out;
+}
+
+} // namespace stps::tt

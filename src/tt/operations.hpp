@@ -1,0 +1,71 @@
+/// \file operations.hpp
+/// \brief Algebra on truth tables: Boolean connectives, cofactors,
+/// composition, and the standard constructors (constants, projections,
+/// elementary gates, majority, random tables).
+///
+/// These operations are the bit-parallel primitives the *baseline*
+/// simulator (src/sim) uses and the functional content the STP layer
+/// (src/stp) re-expresses as logic matrices.
+#pragma once
+
+#include "tt/truth_table.hpp"
+
+#include <cstdint>
+#include <span>
+
+namespace stps::tt {
+
+/// Constant-0 / constant-1 tables over \p num_vars variables.
+truth_table make_const0(uint32_t num_vars);
+truth_table make_const1(uint32_t num_vars);
+
+/// Projection x_var over \p num_vars variables (var 0 = LSB of the index).
+truth_table make_var(uint32_t num_vars, uint32_t var);
+
+/// Elementary two-input gates over exactly two variables.
+truth_table make_and2();
+truth_table make_or2();
+truth_table make_xor2();
+truth_table make_nand2();
+truth_table make_nor2();
+truth_table make_xnor2();
+truth_table make_implies2(); ///< a -> b with a = var 1, b = var 0.
+
+/// Majority-of-three over exactly three variables.
+truth_table make_maj3();
+
+/// Uniformly random table over \p num_vars variables, seeded determinstically.
+truth_table make_random(uint32_t num_vars, uint64_t seed);
+
+truth_table unary_not(const truth_table& a);
+truth_table binary_and(const truth_table& a, const truth_table& b);
+truth_table binary_or(const truth_table& a, const truth_table& b);
+truth_table binary_xor(const truth_table& a, const truth_table& b);
+
+bool is_const0(const truth_table& a);
+bool is_const1(const truth_table& a);
+
+/// Number of ones (satisfying assignments).
+uint64_t count_ones(const truth_table& a);
+
+/// Toggle rate of the signature: bit transitions over bit-string length
+/// (footnote 1 of the paper §IV-A).
+double toggle_rate(const truth_table& a);
+
+/// Shannon cofactors with respect to \p var: f restricted to var=0 / var=1.
+/// The result keeps the same variable count (the cofactored variable
+/// becomes unused), matching kitty's convention.
+truth_table cofactor0(const truth_table& a, uint32_t var);
+truth_table cofactor1(const truth_table& a, uint32_t var);
+
+/// True iff the function depends on \p var.
+bool depends_on(const truth_table& a, uint32_t var);
+
+/// Composes \p f with subfunctions: result(x) = f(g_0(x), ..., g_{k-1}(x)).
+/// All \p gs must share one variable count, which becomes the result's.
+truth_table compose(const truth_table& f, std::span<const truth_table> gs);
+
+/// Extends \p a to \p num_vars variables (new variables are unused).
+truth_table extend_to(const truth_table& a, uint32_t num_vars);
+
+} // namespace stps::tt

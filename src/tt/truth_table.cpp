@@ -1,0 +1,170 @@
+#include "tt/truth_table.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace stps::tt {
+
+namespace {
+
+uint64_t padding_mask(uint32_t num_vars) noexcept
+{
+  if (num_vars >= 6u) {
+    return ~uint64_t{0};
+  }
+  return (uint64_t{1} << (uint64_t{1} << num_vars)) - 1u;
+}
+
+int hex_digit(char c)
+{
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+} // namespace
+
+truth_table::truth_table(uint32_t num_vars)
+    : num_vars_{num_vars}, words_(words_for(num_vars), 0u)
+{
+  if (num_vars > 30u) {
+    throw std::invalid_argument{"truth_table: more than 30 variables"};
+  }
+}
+
+truth_table::truth_table(uint32_t num_vars, std::initializer_list<uint64_t> words)
+    : truth_table{num_vars}
+{
+  if (words.size() != words_.size()) {
+    throw std::invalid_argument{"truth_table: word count mismatch"};
+  }
+  std::size_t i = 0;
+  for (uint64_t w : words) {
+    words_[i++] = w;
+  }
+  mask_padding();
+}
+
+void truth_table::set_word(std::size_t i, uint64_t w)
+{
+  words_.at(i) = w;
+  mask_padding();
+}
+
+bool truth_table::bit(uint64_t index) const
+{
+  assert(index < num_bits());
+  return (words_[index >> 6u] >> (index & 63u)) & 1u;
+}
+
+void truth_table::set_bit(uint64_t index, bool value)
+{
+  assert(index < num_bits());
+  const uint64_t mask = uint64_t{1} << (index & 63u);
+  if (value) {
+    words_[index >> 6u] |= mask;
+  } else {
+    words_[index >> 6u] &= ~mask;
+  }
+}
+
+void truth_table::mask_padding() noexcept
+{
+  words_.back() &= padding_mask(num_vars_);
+  if (num_vars_ < 6u) {
+    // single word table: ensured by the line above
+    return;
+  }
+}
+
+bool truth_table::operator<(const truth_table& other) const noexcept
+{
+  if (num_vars_ != other.num_vars_) {
+    return num_vars_ < other.num_vars_;
+  }
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != other.words_[i]) {
+      return words_[i] < other.words_[i];
+    }
+  }
+  return false;
+}
+
+std::string truth_table::to_hex() const
+{
+  static constexpr char digits[] = "0123456789abcdef";
+  const uint64_t nibbles = num_vars_ <= 2u ? 1u : (num_bits() >> 2u);
+  std::string out;
+  out.reserve(nibbles);
+  for (uint64_t i = nibbles; i-- > 0;) {
+    const uint64_t word = words_[(i * 4u) >> 6u];
+    const uint64_t shift = (i * 4u) & 63u;
+    out.push_back(digits[(word >> shift) & 0xfu]);
+  }
+  return out;
+}
+
+std::string truth_table::to_binary() const
+{
+  std::string out;
+  out.reserve(num_bits());
+  for (uint64_t i = num_bits(); i-- > 0;) {
+    out.push_back(bit(i) ? '1' : '0');
+  }
+  return out;
+}
+
+truth_table truth_table::from_binary(std::string_view bits)
+{
+  uint32_t num_vars = 0;
+  while ((uint64_t{1} << num_vars) < bits.size()) {
+    ++num_vars;
+  }
+  if ((uint64_t{1} << num_vars) != bits.size()) {
+    throw std::invalid_argument{"from_binary: length is not a power of two"};
+  }
+  truth_table tt{num_vars};
+  for (uint64_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[bits.size() - 1u - i];
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument{"from_binary: invalid character"};
+    }
+    tt.set_bit(i, c == '1');
+  }
+  return tt;
+}
+
+truth_table truth_table::from_hex(uint32_t num_vars, std::string_view hex)
+{
+  truth_table tt{num_vars};
+  const uint64_t nibbles = num_vars <= 2u ? 1u : (tt.num_bits() >> 2u);
+  if (hex.size() != nibbles) {
+    throw std::invalid_argument{"from_hex: digit count mismatch"};
+  }
+  for (uint64_t i = 0; i < nibbles; ++i) {
+    const int v = hex_digit(hex[hex.size() - 1u - i]);
+    if (v < 0) {
+      throw std::invalid_argument{"from_hex: invalid character"};
+    }
+    tt.words_[(i * 4u) >> 6u] |= uint64_t(v) << ((i * 4u) & 63u);
+  }
+  tt.mask_padding();
+  return tt;
+}
+
+std::size_t truth_table_hash::operator()(const truth_table& tt) const noexcept
+{
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(tt.num_vars());
+  for (uint64_t w : tt.words()) {
+    mix(w);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+} // namespace stps::tt

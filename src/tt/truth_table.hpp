@@ -1,0 +1,85 @@
+/// \file truth_table.hpp
+/// \brief Word-parallel dynamic truth tables.
+///
+/// A `truth_table` over `n` variables stores the 2^n output bits of a
+/// Boolean function packed into 64-bit words, exactly like the tables the
+/// paper manipulates (Def. 2: the columns of a structural matrix, read
+/// right to left, are the truth table of the operation).  Bit `i` is the
+/// function value under the input assignment whose binary encoding is `i`
+/// (variable 0 is the least-significant input bit).
+///
+/// Tables with fewer than 6 variables occupy a single partially-used word
+/// whose unused high bits are kept zero (the *canonical padding*
+/// invariant); every mutating operation re-establishes it.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stps::tt {
+
+/// Number of 64-bit words needed for a table over \p num_vars variables.
+constexpr std::size_t words_for(uint32_t num_vars) noexcept
+{
+  return num_vars <= 6u ? 1u : (std::size_t{1} << (num_vars - 6u));
+}
+
+/// Dynamically sized truth table over up to 30 variables.
+class truth_table
+{
+public:
+  /// Constructs the constant-0 table over \p num_vars variables.
+  explicit truth_table(uint32_t num_vars = 0u);
+
+  /// Constructs from explicit words (low word first).  The word count must
+  /// match `words_for(num_vars)`; excess high bits are masked away.
+  truth_table(uint32_t num_vars, std::initializer_list<uint64_t> words);
+
+  uint32_t num_vars() const noexcept { return num_vars_; }
+  /// Number of function bits, i.e. 2^num_vars.
+  uint64_t num_bits() const noexcept { return uint64_t{1} << num_vars_; }
+  std::size_t num_words() const noexcept { return words_.size(); }
+
+  uint64_t word(std::size_t i) const { return words_[i]; }
+  void set_word(std::size_t i, uint64_t w);
+  const std::vector<uint64_t>& words() const noexcept { return words_; }
+
+  /// Value of the function at minterm \p index.
+  bool bit(uint64_t index) const;
+  void set_bit(uint64_t index, bool value);
+
+  /// Re-applies the canonical padding invariant (zero unused high bits).
+  void mask_padding() noexcept;
+
+  bool operator==(const truth_table& other) const = default;
+
+  /// Lexicographic order on (num_vars, words); usable as a map key.
+  bool operator<(const truth_table& other) const noexcept;
+
+  /// Hex string, most-significant nibble first (kitty convention).
+  std::string to_hex() const;
+  /// Binary string, bit 2^n-1 first — the paper prints tables this way
+  /// ("read from right to left", §II-B).
+  std::string to_binary() const;
+
+  /// Parses a binary string as printed by `to_binary`.  The string length
+  /// must be exactly 2^num_vars.
+  static truth_table from_binary(std::string_view bits);
+  /// Parses a hex string over \p num_vars variables.
+  static truth_table from_hex(uint32_t num_vars, std::string_view hex);
+
+private:
+  uint32_t num_vars_;
+  std::vector<uint64_t> words_;
+};
+
+/// FNV-1a hash over the semantic content; suitable for unordered maps.
+struct truth_table_hash
+{
+  std::size_t operator()(const truth_table& tt) const noexcept;
+};
+
+} // namespace stps::tt

@@ -1,0 +1,220 @@
+#include "network/aig.hpp"
+#include "network/traversal.hpp"
+#include "sim/bitwise_sim.hpp"
+#include "sim/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using stps::net::aig_network;
+using stps::net::node;
+using stps::net::signal;
+
+TEST(Aig, EmptyNetwork)
+{
+  aig_network aig;
+  EXPECT_EQ(aig.size(), 1u); // constant node
+  EXPECT_EQ(aig.num_pis(), 0u);
+  EXPECT_EQ(aig.num_gates(), 0u);
+  EXPECT_TRUE(aig.is_constant(0u));
+}
+
+TEST(Aig, TrivialAndReductions)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal zero = aig.get_constant(false);
+  const signal one = aig.get_constant(true);
+  EXPECT_EQ(aig.create_and(a, zero), zero);
+  EXPECT_EQ(aig.create_and(a, one), a);
+  EXPECT_EQ(aig.create_and(a, a), a);
+  EXPECT_EQ(aig.create_and(a, !a), zero);
+  EXPECT_EQ(aig.num_gates(), 0u);
+}
+
+TEST(Aig, StructuralHashing)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal g1 = aig.create_and(a, b);
+  const signal g2 = aig.create_and(b, a); // commuted
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(aig.num_gates(), 1u);
+  EXPECT_EQ(aig.strash_hits(), 1u);
+  const signal g3 = aig.create_and(a, !b);
+  EXPECT_NE(g1, g3);
+  EXPECT_EQ(aig.num_gates(), 2u);
+}
+
+TEST(Aig, DerivedGatesSimulateCorrectly)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal s = aig.create_pi();
+  aig.create_po(aig.create_xor(a, b));
+  aig.create_po(aig.create_or(a, b));
+  aig.create_po(aig.create_mux(s, a, b));
+  aig.create_po(aig.create_maj(a, b, s));
+
+  const auto patterns = stps::sim::pattern_set::exhaustive(3u);
+  const auto sig = stps::sim::simulate_aig(aig, patterns);
+  const auto value = [&](signal f, uint64_t p) {
+    const bool v = (sig[f.get_node()][0] >> p) & 1u;
+    return v != f.is_complemented();
+  };
+  for (uint64_t p = 0; p < 8u; ++p) {
+    const bool va = (p >> 0) & 1u;
+    const bool vb = (p >> 1) & 1u;
+    const bool vs = (p >> 2) & 1u;
+    EXPECT_EQ(value(aig.po_at(0), p), va != vb);
+    EXPECT_EQ(value(aig.po_at(1), p), va || vb);
+    EXPECT_EQ(value(aig.po_at(2), p), vs ? va : vb);
+    EXPECT_EQ(value(aig.po_at(3), p),
+              (va && vb) || (va && vs) || (vb && vs));
+  }
+}
+
+TEST(Aig, FanoutTracking)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal c = aig.create_pi();
+  const signal g = aig.create_and(a, b);
+  const signal h1 = aig.create_and(g, c);
+  const signal h2 = aig.create_and(!g, !c);
+  aig.create_po(h1);
+  aig.create_po(h2);
+  const auto& fo = aig.fanout(g.get_node());
+  ASSERT_EQ(fo.size(), 2u);
+  EXPECT_EQ(fo[0], h1.get_node());
+  EXPECT_EQ(fo[1], h2.get_node());
+  EXPECT_EQ(aig.fanout_size(h1.get_node()), 1u); // the PO
+}
+
+TEST(Aig, SubstituteRewiresPos)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal g = aig.create_and(a, b);
+  aig.create_po(g);
+  aig.create_po(!g);
+  aig.substitute_node(g.get_node(), a);
+  EXPECT_TRUE(aig.is_dead(g.get_node()));
+  EXPECT_EQ(aig.po_at(0), a);
+  EXPECT_EQ(aig.po_at(1), !a);
+  EXPECT_EQ(aig.num_gates(), 0u);
+}
+
+TEST(Aig, SubstituteRewiresFanouts)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal c = aig.create_pi();
+  const signal g = aig.create_and(a, b);
+  const signal h = aig.create_and(g, c);
+  aig.create_po(h);
+  aig.substitute_node(g.get_node(), !a);
+  EXPECT_TRUE(aig.is_dead(g.get_node()));
+  EXPECT_FALSE(aig.is_dead(h.get_node()));
+  // h must now compute !a & c.
+  const auto patterns = stps::sim::pattern_set::exhaustive(3u);
+  const auto sig = stps::sim::simulate_aig(aig, patterns);
+  for (uint64_t p = 0; p < 8u; ++p) {
+    const bool va = (p >> 0) & 1u;
+    const bool vc = (p >> 2) & 1u;
+    const bool vh = (sig[aig.po_at(0).get_node()][0] >> p) & 1u;
+    EXPECT_EQ(vh != aig.po_at(0).is_complemented(), !va && vc);
+  }
+}
+
+TEST(Aig, SubstituteCascadesThroughStrashing)
+{
+  // g1 = a·b, g2 = c·b, h1 = g1·d, h2 = g2·d.  Substituting g2 by g1
+  // makes h2 structurally identical to h1, so h2 must merge too.
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal c = aig.create_pi();
+  const signal d = aig.create_pi();
+  const signal g1 = aig.create_and(a, b);
+  const signal g2 = aig.create_and(c, b);
+  const signal h1 = aig.create_and(g1, d);
+  const signal h2 = aig.create_and(g2, d);
+  aig.create_po(h1);
+  aig.create_po(h2);
+  EXPECT_EQ(aig.num_gates(), 4u);
+  const uint32_t died = aig.substitute_node(g2.get_node(), g1);
+  EXPECT_EQ(died, 2u); // g2 and h2
+  EXPECT_TRUE(aig.is_dead(h2.get_node()));
+  EXPECT_EQ(aig.po_at(0), aig.po_at(1));
+  EXPECT_EQ(aig.num_gates(), 2u);
+}
+
+TEST(Aig, SubstituteToConstantCollapsesCone)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal g = aig.create_and(a, b);
+  const signal h = aig.create_and(g, a);
+  aig.create_po(h);
+  aig.substitute_node(g.get_node(), aig.get_constant(false));
+  // h = 0 & a = 0 → PO is constant 0.
+  EXPECT_EQ(aig.po_at(0), aig.get_constant(false));
+  EXPECT_EQ(aig.num_gates(), 0u);
+}
+
+TEST(Aig, TopologicalInvariantSurvivesSubstitution)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal c = aig.create_pi();
+  const signal g1 = aig.create_and(a, b);
+  const signal g2 = aig.create_and(g1, c);
+  const signal g3 = aig.create_and(!g1, !c);
+  const signal g4 = aig.create_and(g2, g3);
+  aig.create_po(g4);
+  aig.substitute_node(g2.get_node(), g1);
+  // Every live gate's fanins must still have smaller ids.
+  aig.foreach_gate([&](node n) {
+    EXPECT_LT(aig.fanin0(n).get_node(), n);
+    EXPECT_LT(aig.fanin1(n).get_node(), n);
+  });
+}
+
+TEST(Aig, CleanupDanglingRemovesUnreachable)
+{
+  aig_network aig;
+  const signal a = aig.create_pi();
+  const signal b = aig.create_pi();
+  const signal used = aig.create_and(a, b);
+  const signal dangling1 = aig.create_and(a, !b);
+  const signal dangling2 = aig.create_and(dangling1, b);
+  (void)dangling2;
+  aig.create_po(used);
+  EXPECT_EQ(aig.num_gates(), 3u);
+  const uint32_t removed = aig.cleanup_dangling();
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(aig.num_gates(), 1u);
+  EXPECT_FALSE(aig.is_dead(used.get_node()));
+}
+
+TEST(Aig, PiNamesPreserved)
+{
+  aig_network aig;
+  aig.create_pi("alpha");
+  aig.create_pi("beta");
+  EXPECT_EQ(aig.pi_name(0), "alpha");
+  EXPECT_EQ(aig.pi_name(1), "beta");
+  aig.create_po(aig.get_constant(false), "out");
+  EXPECT_EQ(aig.po_name(0), "out");
+}
+
+} // namespace

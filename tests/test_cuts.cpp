@@ -1,0 +1,172 @@
+#include "cut/cuts.hpp"
+#include "cut/lut_mapper.hpp"
+#include "cut/tree_cuts.hpp"
+#include "gen/arithmetic.hpp"
+#include "gen/random_logic.hpp"
+#include "network/convert.hpp"
+#include "network/traversal.hpp"
+#include "sim/bitwise_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace stps;
+
+TEST(Cuts, EnumerationRespectsBounds)
+{
+  const auto aig = gen::make_adder(8u);
+  const cut::cut_config config{4u, 6u};
+  const cut::cut_set cuts{aig, config};
+  aig.foreach_gate([&](net::node n) {
+    const auto& set = cuts.cuts(n);
+    EXPECT_FALSE(set.empty());
+    EXPECT_LE(set.size(), config.cut_limit + 1u);
+    for (const auto& c : set) {
+      EXPECT_LE(c.leaves.size(), config.cut_size);
+      EXPECT_TRUE(std::is_sorted(c.leaves.begin(), c.leaves.end()));
+    }
+    // Trivial cut present (last).
+    EXPECT_EQ(set.back().leaves, std::vector<net::node>{n});
+  });
+}
+
+TEST(Cuts, Domination)
+{
+  cut::cut_t small{{2u, 3u}};
+  cut::cut_t big{{2u, 3u, 4u}};
+  EXPECT_TRUE(small.dominates(big));
+  EXPECT_FALSE(big.dominates(small));
+  EXPECT_TRUE(small.dominates(small));
+}
+
+TEST(Cuts, CutFunctionMatchesSimulation)
+{
+  const auto aig = gen::make_random_logic({8u, 4u, 120u, 21u, 25u});
+  const cut::cut_set cuts{aig, cut::cut_config{5u, 8u}};
+  const auto patterns = sim::pattern_set::exhaustive(8u);
+  const auto sig = sim::simulate_aig(aig, patterns);
+
+  aig.foreach_gate([&](net::node n) {
+    for (const auto& c : cuts.cuts(n)) {
+      if (c.leaves.size() == 1u && c.leaves[0] == n) {
+        continue;
+      }
+      const auto f = cut::cut_function(aig, n, c);
+      // Check the cut function against global exhaustive simulation.
+      for (uint64_t p = 0; p < 256u; ++p) {
+        uint64_t index = 0;
+        for (std::size_t i = 0; i < c.leaves.size(); ++i) {
+          const net::node leaf = c.leaves[i];
+          const bool v = (sig[leaf][p >> 6u] >> (p & 63u)) & 1u;
+          index |= uint64_t{v} << i;
+        }
+        const bool expect = (sig[n][p >> 6u] >> (p & 63u)) & 1u;
+        ASSERT_EQ(f.bit(index), expect)
+            << "node " << n << " pattern " << p;
+      }
+    }
+  });
+}
+
+class LutMapSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(LutMapSweep, MappedNetworkIsEquivalent)
+{
+  const uint32_t k = GetParam();
+  const auto aig = gen::make_multiplier(8u);
+  const auto mapped = cut::lut_map(aig, k);
+  EXPECT_EQ(mapped.klut.num_pis(), aig.num_pis());
+  EXPECT_EQ(mapped.klut.num_pos(), aig.num_pos());
+  EXPECT_LE(mapped.klut.max_fanin_size(), k);
+  // Fewer LUTs than AND gates (for k > 2).
+  if (k > 2u) {
+    EXPECT_LT(mapped.klut.num_gates(), aig.num_gates());
+  }
+
+  const auto patterns = sim::pattern_set::random(aig.num_pis(), 512u, 77u);
+  const auto sig_aig = sim::simulate_aig(aig, patterns);
+  const auto sig_klut = sim::simulate_klut_bitwise(mapped.klut, patterns);
+  for (uint32_t i = 0; i < aig.num_pos(); ++i) {
+    const auto f = aig.po_at(i);
+    uint64_t flip = f.is_complemented() ? ~uint64_t{0} : 0u;
+    for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+      EXPECT_EQ(sig_aig[f.get_node()][w] ^ flip,
+                sig_klut[mapped.klut.po_at(i)][w])
+          << "PO " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KValues, LutMapSweep,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u));
+
+TEST(TreeCuts, CollapseRespectsLimitAndFunction)
+{
+  const auto aig = gen::make_random_logic({10u, 6u, 250u, 33u, 20u});
+  const auto conv = net::aig_to_klut(aig);
+
+  // Choose a few targets.
+  std::vector<net::klut_network::node> targets;
+  conv.klut.foreach_gate([&](net::klut_network::node n) {
+    if (targets.size() < 5u && n % 7u == 0u) {
+      targets.push_back(n);
+    }
+  });
+  ASSERT_FALSE(targets.empty());
+
+  const uint32_t limit = 4u;
+  const auto collapsed = cut::collapse_to_cuts(conv.klut, targets, limit);
+
+  // Every collapsed gate respects the leaf limit (unless its original
+  // fanin count already exceeded it, impossible here with 2-LUTs).
+  collapsed.net.foreach_gate([&](net::klut_network::node n) {
+    EXPECT_LE(collapsed.net.fanin_count(n), limit);
+  });
+
+  // Targets must be roots with valid mappings.
+  for (const auto t : targets) {
+    EXPECT_NE(collapsed.node_map[t], ~net::klut_network::node{0});
+  }
+
+  // Functional check: collapsed network PO-equivalent to original.
+  const auto patterns = sim::pattern_set::random(aig.num_pis(), 640u, 5u);
+  const auto sig_orig = sim::simulate_klut_bitwise(conv.klut, patterns);
+  const auto sig_coll = sim::simulate_klut_bitwise(collapsed.net, patterns);
+  for (uint32_t i = 0; i < conv.klut.num_pos(); ++i) {
+    EXPECT_EQ(sig_orig[conv.klut.po_at(i)], sig_coll[collapsed.net.po_at(i)]);
+  }
+  // And target signatures must be preserved.
+  for (const auto t : targets) {
+    EXPECT_EQ(sig_orig[t], sig_coll[collapsed.node_map[t]]);
+  }
+}
+
+TEST(TreeCuts, SingleFanoutChainsAreAbsorbed)
+{
+  // A linear chain with one PO: everything collapses into one LUT when
+  // the limit allows.
+  net::klut_network klut;
+  const auto a = klut.create_pi();
+  const auto b = klut.create_pi();
+  const auto c = klut.create_pi();
+  const net::klut_network::node f1[2] = {a, b};
+  const auto g1 = klut.create_node(f1, tt::truth_table{2u, {0x8ull}});
+  const net::klut_network::node f2[2] = {g1, c};
+  const auto g2 = klut.create_node(f2, tt::truth_table{2u, {0x6ull}});
+  klut.create_po(g2);
+
+  const auto collapsed = cut::collapse_to_cuts(klut, {}, 6u);
+  EXPECT_EQ(collapsed.roots.size(), 1u);
+  EXPECT_EQ(collapsed.net.num_gates(), 1u);
+  // Collapsed function: (a & b) ^ c.
+  const auto& table =
+      collapsed.net.table(collapsed.node_map[g2]);
+  EXPECT_EQ(table.num_vars(), 3u);
+}
+
+} // namespace

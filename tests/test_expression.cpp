@@ -1,0 +1,143 @@
+#include "stp/expression.hpp"
+#include "tt/operations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using namespace stps::stp; // expression DSL
+
+TEST(Expression, EvaluateBasics)
+{
+  const expression e = (v(0) && v(1)) || !v(2);
+  const bool a0[3] = {true, true, true};
+  const bool a1[3] = {false, false, false};
+  const bool a2[3] = {false, true, true};
+  EXPECT_TRUE(e.evaluate(a0));
+  EXPECT_TRUE(e.evaluate(a1)); // !x2 = true
+  EXPECT_FALSE(e.evaluate(a2));
+}
+
+TEST(Expression, CanonicalFormMatchesEvaluation)
+{
+  const expression e = iff(v(0), !v(1)) ^ implies(v(2), v(0));
+  const logic_matrix m = e.canonical_form(3u);
+  for (uint32_t x = 0; x < 8u; ++x) {
+    const bool assignment[3] = {((x >> 0) & 1u) != 0u, ((x >> 1) & 1u) != 0u,
+                                ((x >> 2) & 1u) != 0u};
+    // x0 is the leading factor: table index MSB = x0.
+    const uint64_t index = (uint64_t{assignment[0]} << 2u) |
+                           (uint64_t{assignment[1]} << 1u) |
+                           uint64_t{assignment[2]};
+    EXPECT_EQ(m.table().bit(index), e.evaluate(assignment));
+  }
+}
+
+TEST(Expression, LiarPuzzleCanonicalFormMatchesPaper)
+{
+  // Example 2: Φ(a,b,c) = (a ↔ ¬b) ∧ (b ↔ ¬c) ∧ (c ↔ ¬a ∧ ¬b).
+  const expression phi = (iff(v(0), !v(1)) && iff(v(1), !v(2))) &&
+                         iff(v(2), !v(0) && !v(1));
+  const logic_matrix m = phi.canonical_form(3u);
+  // Paper: M_Φ = [0 0 0 0 0 1 0 0; 1 1 1 1 1 0 1 1] — columns left to
+  // right are abc = 111, 110, ..., 000; the single true column is abc=010.
+  EXPECT_EQ(m.to_string(), "[0 0 0 0 0 1 0 0; 1 1 1 1 1 0 1 1]");
+
+  // Simulation with pattern 010 (b honest, a and c liars) yields True.
+  const bool pattern[3] = {false, true, false};
+  EXPECT_TRUE(m.apply(pattern));
+  // Every other assignment is False.
+  for (uint32_t x = 0; x < 8u; ++x) {
+    const bool assignment[3] = {((x >> 2) & 1u) != 0u, ((x >> 1) & 1u) != 0u,
+                                ((x >> 0) & 1u) != 0u};
+    const bool expected = (x == 0b010u);
+    EXPECT_EQ(m.apply(assignment), expected) << "assignment " << x;
+  }
+}
+
+TEST(Expression, KnownIdentities)
+{
+  // a → b == ¬a ∨ b (Example 1 at the expression level).
+  EXPECT_TRUE(identity_holds(implies(v(0), v(1)).canonical_form(2u),
+                             (!v(0) || v(1)).canonical_form(2u)));
+  // De Morgan.
+  EXPECT_TRUE(identity_holds((!(v(0) && v(1))).canonical_form(2u),
+                             (!v(0) || !v(1)).canonical_form(2u)));
+  // XOR expansion.
+  EXPECT_TRUE(identity_holds((v(0) ^ v(1)).canonical_form(2u),
+                             ((v(0) && !v(1)) || (!v(0) && v(1)))
+                                 .canonical_form(2u)));
+  // Distribution.
+  EXPECT_TRUE(identity_holds(
+      (v(0) && (v(1) || v(2))).canonical_form(3u),
+      ((v(0) && v(1)) || (v(0) && v(2))).canonical_form(3u)));
+  // Non-identity must fail.
+  EXPECT_FALSE(identity_holds((v(0) || v(1)).canonical_form(2u),
+                              (v(0) && v(1)).canonical_form(2u)));
+}
+
+expression random_expression(std::mt19937_64& rng, uint32_t num_vars,
+                             uint32_t depth)
+{
+  if (depth == 0u || rng() % 5u == 0u) {
+    if (rng() % 8u == 0u) {
+      return constant(rng() & 1u);
+    }
+    return v(static_cast<uint32_t>(rng() % num_vars));
+  }
+  switch (rng() % 6u) {
+    case 0: return !random_expression(rng, num_vars, depth - 1u);
+    case 1:
+      return random_expression(rng, num_vars, depth - 1u) &&
+             random_expression(rng, num_vars, depth - 1u);
+    case 2:
+      return random_expression(rng, num_vars, depth - 1u) ||
+             random_expression(rng, num_vars, depth - 1u);
+    case 3:
+      return random_expression(rng, num_vars, depth - 1u) ^
+             random_expression(rng, num_vars, depth - 1u);
+    case 4:
+      return implies(random_expression(rng, num_vars, depth - 1u),
+                     random_expression(rng, num_vars, depth - 1u));
+    default:
+      return iff(random_expression(rng, num_vars, depth - 1u),
+                 random_expression(rng, num_vars, depth - 1u));
+  }
+}
+
+class RandomExpr : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(RandomExpr, CanonicalFormIsExhaustivelyCorrect)
+{
+  std::mt19937_64 rng{GetParam()};
+  const uint32_t num_vars = 2u + static_cast<uint32_t>(rng() % 4u);
+  const expression e = random_expression(rng, num_vars, 5u);
+  const logic_matrix m = e.canonical_form(num_vars);
+  bool assignment[8] = {};
+  for (uint64_t x = 0; x < (uint64_t{1} << num_vars); ++x) {
+    for (uint32_t i = 0; i < num_vars; ++i) {
+      assignment[i] = (x >> i) & 1u;
+    }
+    uint64_t index = 0;
+    for (uint32_t i = 0; i < num_vars; ++i) {
+      index = (index << 1u) | (assignment[i] ? 1u : 0u);
+    }
+    EXPECT_EQ(m.table().bit(index),
+              e.evaluate(std::span<const bool>{assignment, num_vars}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomExpr,
+                         ::testing::Range(0u, 20u));
+
+TEST(Expression, ToStringRenders)
+{
+  const expression e = implies(v(0), !v(1));
+  EXPECT_EQ(e.to_string(), "(x0 → ¬x1)");
+}
+
+} // namespace

@@ -1,0 +1,264 @@
+#include "gen/arithmetic.hpp"
+#include "gen/benchmarks.hpp"
+#include "gen/random_logic.hpp"
+#include "gen/redundancy.hpp"
+#include "sim/bitwise_sim.hpp"
+#include "sim/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace {
+
+using namespace stps;
+
+/// Reads PO \p po of \p aig as bit \p pat of a word-parallel run.
+bool po_bit(const net::aig_network& aig, const sim::signature_table& sig,
+            uint32_t po, uint64_t pat)
+{
+  const auto f = aig.po_at(po);
+  const bool v = (sig[f.get_node()][pat >> 6u] >> (pat & 63u)) & 1u;
+  return v != f.is_complemented();
+}
+
+uint64_t read_word(const sim::pattern_set& p, uint32_t first, uint32_t width,
+                   uint64_t pat)
+{
+  uint64_t v = 0;
+  for (uint32_t i = 0; i < width; ++i) {
+    v |= uint64_t{p.bit(first + i, pat)} << i;
+  }
+  return v;
+}
+
+uint64_t read_po_word(const net::aig_network& aig,
+                      const sim::signature_table& sig, uint32_t first,
+                      uint32_t width, uint64_t pat)
+{
+  uint64_t v = 0;
+  for (uint32_t i = 0; i < width; ++i) {
+    v |= uint64_t{po_bit(aig, sig, first + i, pat)} << i;
+  }
+  return v;
+}
+
+TEST(Gen, MultiplierMultiplies)
+{
+  const uint32_t w = 10u;
+  const auto aig = gen::make_multiplier(w);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 128u, 2u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 128u; ++pat) {
+    const uint64_t a = read_word(p, 0u, w, pat);
+    const uint64_t b = read_word(p, w, w, pat);
+    EXPECT_EQ(read_po_word(aig, sig, 0u, 2u * w, pat), a * b);
+  }
+}
+
+TEST(Gen, SquareSquares)
+{
+  const uint32_t w = 9u;
+  const auto aig = gen::make_square(w);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 64u, 3u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 64u; ++pat) {
+    const uint64_t a = read_word(p, 0u, w, pat);
+    EXPECT_EQ(read_po_word(aig, sig, 0u, 2u * w, pat), a * a);
+  }
+}
+
+TEST(Gen, DividerDivides)
+{
+  const uint32_t w = 8u;
+  const auto aig = gen::make_divider(w);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 128u, 4u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 128u; ++pat) {
+    const uint64_t n = read_word(p, 0u, w, pat);
+    const uint64_t d = read_word(p, w, w, pat);
+    if (d == 0u) {
+      continue; // undefined; restoring division yields q=all-ones path
+    }
+    EXPECT_EQ(read_po_word(aig, sig, 0u, w, pat), n / d) << n << "/" << d;
+    EXPECT_EQ(read_po_word(aig, sig, w, w, pat), n % d) << n << "%" << d;
+  }
+}
+
+TEST(Gen, SqrtTakesRoots)
+{
+  const uint32_t w = 12u;
+  const auto aig = gen::make_sqrt(w);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 128u, 5u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 128u; ++pat) {
+    const uint64_t x = read_word(p, 0u, w, pat);
+    uint64_t root = 0;
+    while ((root + 1u) * (root + 1u) <= x) {
+      ++root;
+    }
+    EXPECT_EQ(read_po_word(aig, sig, 0u, w / 2u, pat), root) << "x=" << x;
+  }
+}
+
+TEST(Gen, MaxSelectsMaximum)
+{
+  const uint32_t w = 12u;
+  const auto aig = gen::make_max(w);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 128u, 6u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 128u; ++pat) {
+    const uint64_t a = read_word(p, 0u, w, pat);
+    const uint64_t b = read_word(p, w, w, pat);
+    EXPECT_EQ(read_po_word(aig, sig, 0u, w, pat), std::max(a, b));
+  }
+}
+
+TEST(Gen, BarrelShifterRotates)
+{
+  const uint32_t lg = 4u; // 16-bit
+  const uint32_t w = 1u << lg;
+  const auto aig = gen::make_barrel_shifter(lg);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 128u, 7u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 128u; ++pat) {
+    const uint64_t data = read_word(p, 0u, w, pat);
+    const uint64_t amount = read_word(p, w, lg, pat);
+    const uint64_t rotated =
+        ((data << amount) | (data >> (w - amount))) & ((1ull << w) - 1u);
+    const uint64_t expect = amount == 0u ? data : rotated;
+    EXPECT_EQ(read_po_word(aig, sig, 0u, w, pat), expect)
+        << data << " rot " << amount;
+  }
+}
+
+TEST(Gen, HypotenuseComputesSumOfSquares)
+{
+  const uint32_t w = 8u;
+  const auto aig = gen::make_hypotenuse(w);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 64u, 8u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 64u; ++pat) {
+    const uint64_t a = read_word(p, 0u, w, pat);
+    const uint64_t b = read_word(p, w, w, pat);
+    EXPECT_EQ(read_po_word(aig, sig, 0u, 2u * w + 2u, pat), a * a + b * b);
+  }
+}
+
+TEST(Gen, Log2FindsLeadingOne)
+{
+  const uint32_t lg = 4u;
+  const uint32_t w = 1u << lg;
+  const auto aig = gen::make_log2(lg);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 128u, 9u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 128u; ++pat) {
+    const uint64_t x = read_word(p, 0u, w, pat);
+    const bool valid = po_bit(aig, sig, lg, pat);
+    EXPECT_EQ(valid, x != 0u);
+    if (x != 0u) {
+      uint64_t expect = 63u - static_cast<uint64_t>(__builtin_clzll(x));
+      EXPECT_EQ(read_po_word(aig, sig, 0u, lg, pat), expect) << "x=" << x;
+    }
+  }
+}
+
+TEST(Gen, DecoderOneHot)
+{
+  const auto aig = gen::make_decoder(4u);
+  const auto p = sim::pattern_set::exhaustive(4u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 16u; ++pat) {
+    for (uint32_t line = 0; line < 16u; ++line) {
+      EXPECT_EQ(po_bit(aig, sig, line, pat), line == pat);
+    }
+  }
+}
+
+TEST(Gen, PriorityGrantsHighestIndex)
+{
+  const uint32_t w = 8u;
+  const auto aig = gen::make_priority(w);
+  const auto p = sim::pattern_set::exhaustive(w);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < (1u << w); ++pat) {
+    uint32_t winner = w; // none
+    for (uint32_t i = w; i-- > 0;) {
+      if ((pat >> i) & 1u) {
+        winner = i;
+        break;
+      }
+    }
+    for (uint32_t i = 0; i < w; ++i) {
+      EXPECT_EQ(po_bit(aig, sig, i, pat), i == winner);
+    }
+    EXPECT_EQ(po_bit(aig, sig, w, pat), winner != w);
+  }
+}
+
+TEST(Gen, VoterMajorityBits)
+{
+  const uint32_t w = 8u;
+  const auto aig = gen::make_voter(w);
+  const auto p = sim::pattern_set::random(aig.num_pis(), 64u, 10u);
+  const auto sig = sim::simulate_aig(aig, p);
+  for (uint64_t pat = 0; pat < 64u; ++pat) {
+    for (uint32_t i = 0; i < w; ++i) {
+      const int votes = int(p.bit(i, pat)) + int(p.bit(w + i, pat)) +
+                        int(p.bit(2u * w + i, pat));
+      EXPECT_EQ(po_bit(aig, sig, i, pat), votes >= 2);
+    }
+  }
+}
+
+TEST(Gen, RandomLogicIsDeterministic)
+{
+  const gen::random_logic_config config{16u, 8u, 400u, 123u, 20u};
+  const auto a = gen::make_random_logic(config);
+  const auto b = gen::make_random_logic(config);
+  EXPECT_EQ(a.num_gates(), b.num_gates());
+  const auto p = sim::pattern_set::random(16u, 128u, 1u);
+  const auto sa = sim::simulate_aig(a, p);
+  const auto sb = sim::simulate_aig(b, p);
+  for (uint32_t i = 0; i < a.num_pos(); ++i) {
+    EXPECT_EQ(sa[a.po_at(i).get_node()], sb[b.po_at(i).get_node()]);
+  }
+}
+
+TEST(Gen, RedundancyPreservesFunctionsAndAddsGates)
+{
+  const auto base = gen::make_random_logic({10u, 8u, 300u, 31u, 25u});
+  const auto redundant = gen::inject_redundancy(base, {10u, 4u, 31u});
+  EXPECT_GT(redundant.num_gates(), base.num_gates());
+
+  const auto p = sim::pattern_set::random(10u, 1024u, 2u);
+  const auto sb = sim::simulate_aig(base, p);
+  const auto sr = sim::simulate_aig(redundant, p);
+  for (uint32_t i = 0; i < base.num_pos(); ++i) {
+    const auto fb = base.po_at(i);
+    const auto fr = redundant.po_at(i);
+    const uint64_t flip =
+        (fb.is_complemented() != fr.is_complemented()) ? ~uint64_t{0} : 0u;
+    for (std::size_t w = 0; w < p.num_words(); ++w) {
+      EXPECT_EQ(sb[fb.get_node()][w] ^ flip, sr[fr.get_node()][w])
+          << "PO " << i;
+    }
+  }
+}
+
+TEST(Gen, NamedSuitesBuild)
+{
+  for (const auto& name : gen::epfl_names()) {
+    const auto aig = gen::make_epfl(name);
+    EXPECT_GT(aig.num_gates(), 0u) << name;
+    EXPECT_GT(aig.num_pos(), 0u) << name;
+  }
+  for (const auto& name : gen::sweep_names()) {
+    const auto aig = gen::make_sweep_benchmark(name);
+    EXPECT_GT(aig.num_gates(), 100u) << name;
+  }
+  EXPECT_THROW(gen::make_epfl("nonexistent"), std::invalid_argument);
+  EXPECT_THROW(gen::make_sweep_benchmark("nope"), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+#include "cut/lut_mapper.hpp"
+#include "gen/arithmetic.hpp"
+#include "gen/random_logic.hpp"
+#include "io/aiger.hpp"
+#include "io/bench.hpp"
+#include "io/blif.hpp"
+#include "sim/bitwise_sim.hpp"
+#include "sweep/cec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using namespace stps;
+
+void expect_equivalent(const net::aig_network& a, const net::aig_network& b)
+{
+  ASSERT_EQ(a.num_pis(), b.num_pis());
+  ASSERT_EQ(a.num_pos(), b.num_pos());
+  EXPECT_TRUE(sweep::check_equivalence(a, b).equivalent);
+}
+
+TEST(Aiger, AsciiRoundTrip)
+{
+  const auto original = gen::make_adder(12u);
+  std::stringstream ss;
+  io::write_aiger_ascii(original, ss);
+  const auto reread = io::read_aiger(ss);
+  EXPECT_EQ(reread.num_gates(), original.num_gates());
+  expect_equivalent(original, reread);
+}
+
+TEST(Aiger, BinaryRoundTrip)
+{
+  const auto original = gen::make_random_logic({14u, 9u, 500u, 8u, 25u});
+  std::stringstream ss;
+  io::write_aiger_binary(original, ss);
+  const auto reread = io::read_aiger(ss);
+  EXPECT_EQ(reread.num_gates(), original.num_gates());
+  expect_equivalent(original, reread);
+}
+
+TEST(Aiger, RoundTripAfterSubstitutionCompacts)
+{
+  // Dead nodes must not leak into the file.
+  auto aig = gen::make_adder(6u);
+  const auto order_gate = [&]() {
+    net::node last = 0;
+    aig.foreach_gate([&](net::node n) { last = n; });
+    return last;
+  }();
+  (void)order_gate;
+  aig.cleanup_dangling();
+  std::stringstream ss;
+  io::write_aiger_ascii(aig, ss);
+  const auto reread = io::read_aiger(ss);
+  expect_equivalent(aig, reread);
+}
+
+TEST(Aiger, AsciiHeaderParsing)
+{
+  std::stringstream ss{"aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n"};
+  const auto aig = io::read_aiger(ss);
+  EXPECT_EQ(aig.num_pis(), 2u);
+  EXPECT_EQ(aig.num_pos(), 1u);
+  EXPECT_EQ(aig.num_gates(), 1u);
+  // The single AND drives the PO.
+  const auto f = aig.po_at(0);
+  EXPECT_FALSE(f.is_complemented());
+  EXPECT_TRUE(aig.is_and(f.get_node()));
+}
+
+TEST(Aiger, RejectsGarbage)
+{
+  std::stringstream ss{"not_aiger 1 2 3\n"};
+  EXPECT_THROW(io::read_aiger(ss), std::runtime_error);
+  EXPECT_THROW(io::read_aiger(std::string{"/nonexistent/file.aig"}),
+               std::runtime_error);
+}
+
+TEST(Blif, ContainsModelAndCovers)
+{
+  const auto aig = gen::make_adder(4u);
+  const auto mapped = cut::lut_map(aig, 4u);
+  std::stringstream ss;
+  io::write_blif(mapped.klut, ss, "adder4");
+  const std::string text = ss.str();
+  EXPECT_NE(text.find(".model adder4"), std::string::npos);
+  EXPECT_NE(text.find(".inputs"), std::string::npos);
+  EXPECT_NE(text.find(".outputs"), std::string::npos);
+  EXPECT_NE(text.find(".names"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+  // One .names block per gate + 2 constants + one buffer per PO.
+  std::size_t names = 0;
+  for (std::size_t pos = text.find(".names"); pos != std::string::npos;
+       pos = text.find(".names", pos + 1u)) {
+    ++names;
+  }
+  EXPECT_EQ(names, mapped.klut.num_gates() + 2u + mapped.klut.num_pos());
+}
+
+TEST(Blif, RoundTripThroughReader)
+{
+  const auto aig = gen::make_adder(6u);
+  const auto mapped = cut::lut_map(aig, 4u);
+  std::stringstream ss;
+  io::write_blif(mapped.klut, ss);
+  const auto reread = io::read_blif(ss);
+  ASSERT_EQ(reread.num_pis(), mapped.klut.num_pis());
+  ASSERT_EQ(reread.num_pos(), mapped.klut.num_pos());
+  const auto patterns = sim::pattern_set::random(aig.num_pis(), 512u, 3u);
+  const auto sa = sim::simulate_klut_bitwise(mapped.klut, patterns);
+  const auto sb = sim::simulate_klut_bitwise(reread, patterns);
+  for (uint32_t i = 0; i < mapped.klut.num_pos(); ++i) {
+    EXPECT_EQ(sa[mapped.klut.po_at(i)], sb[reread.po_at(i)]) << "PO " << i;
+  }
+}
+
+TEST(Blif, ReadsDontCaresAndOffsets)
+{
+  // f = a XOR b via ON-set with no don't-cares; g = NOT(a AND b) via
+  // OFF-set rows; h uses a dash.
+  std::stringstream ss{
+      ".model t\n.inputs a b\n.outputs f g h\n"
+      ".names a b f\n10 1\n01 1\n"
+      ".names a b g\n11 0\n"
+      ".names a b h\n1- 1\n"
+      ".end\n"};
+  const auto klut = io::read_blif(ss);
+  ASSERT_EQ(klut.num_pos(), 3u);
+  const auto patterns = sim::pattern_set::exhaustive(2u);
+  const auto sig = sim::simulate_klut_bitwise(klut, patterns);
+  EXPECT_EQ(sig[klut.po_at(0)][0], 0x6u); // xor
+  EXPECT_EQ(sig[klut.po_at(1)][0], 0x7u); // nand
+  EXPECT_EQ(sig[klut.po_at(2)][0], 0xau); // a
+}
+
+TEST(Blif, RejectsMalformedInput)
+{
+  std::stringstream undefined{
+      ".model t\n.inputs a\n.outputs f\n.names missing f\n1 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(undefined), std::runtime_error);
+  std::stringstream mixed{
+      ".model t\n.inputs a b\n.outputs f\n"
+      ".names a b f\n11 1\n00 0\n.end\n"};
+  EXPECT_THROW(io::read_blif(mixed), std::runtime_error);
+}
+
+TEST(Bench, ContainsGateLines)
+{
+  const auto aig = gen::make_max(4u);
+  std::stringstream ss;
+  io::write_bench(aig, ss);
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("INPUT(I1)"), std::string::npos);
+  EXPECT_NE(text.find("OUTPUT(O0)"), std::string::npos);
+  EXPECT_NE(text.find(" = AND("), std::string::npos);
+  EXPECT_NE(text.find(" = BUFF("), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+/// \file test_properties.cpp
+/// \brief Cross-module property tests: algebraic laws of the STP, fuzzed
+/// substitution soundness, collapse/roundtrip invariants over seeds.
+#include "cut/tree_cuts.hpp"
+#include "gen/random_logic.hpp"
+#include "io/aiger.hpp"
+#include "network/convert.hpp"
+#include "sim/bitwise_sim.hpp"
+#include "stp/matrix.hpp"
+#include "sweep/cec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+namespace {
+
+using namespace stps;
+using stp::matrix;
+
+matrix random_matrix(std::size_t rows, std::size_t cols,
+                     std::mt19937_64& rng)
+{
+  matrix m{rows, cols};
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, rng() & 1u);
+    }
+  }
+  return m;
+}
+
+class StpLaws : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(StpLaws, StpIsAssociative)
+{
+  std::mt19937_64 rng{GetParam()};
+  // Dimensions drawn from small divisor-friendly values.
+  const std::size_t dims[] = {1, 2, 3, 4, 6};
+  const auto d = [&]() { return dims[rng() % 5u]; };
+  const matrix a = random_matrix(d(), d(), rng);
+  const matrix b = random_matrix(d(), d(), rng);
+  const matrix c = random_matrix(d(), d(), rng);
+  const matrix left = semi_tensor_product(semi_tensor_product(a, b), c);
+  const matrix right = semi_tensor_product(a, semi_tensor_product(b, c));
+  EXPECT_EQ(left, right);
+}
+
+TEST_P(StpLaws, KroneckerMixedProduct)
+{
+  std::mt19937_64 rng{GetParam() + 1000u};
+  // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD) with compatible dimensions.
+  const std::size_t m = 1u + rng() % 3u;
+  const std::size_t n = 1u + rng() % 3u;
+  const std::size_t p = 1u + rng() % 3u;
+  const std::size_t q = 1u + rng() % 3u;
+  const std::size_t r = 1u + rng() % 3u;
+  const std::size_t s = 1u + rng() % 3u;
+  const matrix a = random_matrix(m, n, rng);
+  const matrix b = random_matrix(p, q, rng);
+  const matrix c = random_matrix(n, r, rng);
+  const matrix d = random_matrix(q, s, rng);
+  EXPECT_EQ(multiply(kronecker(a, b), kronecker(c, d)),
+            kronecker(multiply(a, c), multiply(b, d)));
+}
+
+TEST_P(StpLaws, StpGeneralizesMatrixProduct)
+{
+  std::mt19937_64 rng{GetParam() + 2000u};
+  const std::size_t m = 1u + rng() % 4u;
+  const std::size_t n = 1u + rng() % 4u;
+  const std::size_t p = 1u + rng() % 4u;
+  const matrix a = random_matrix(m, n, rng);
+  const matrix b = random_matrix(n, p, rng);
+  EXPECT_EQ(semi_tensor_product(a, b), multiply(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StpLaws, ::testing::Range(uint64_t{0},
+                                                          uint64_t{12}));
+
+class SubstitutionFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SubstitutionFuzz, RandomEquivalentMergesPreservePos)
+{
+  // Find truly equivalent node pairs by exhaustive simulation, merge the
+  // later onto the earlier, and check PO functions after every merge.
+  auto aig = gen::make_random_logic({8u, 6u, 150u, GetParam(), 30u});
+  const auto patterns = sim::pattern_set::exhaustive(8u);
+  const auto reference = sim::simulate_aig(aig, patterns);
+  std::vector<uint64_t> ref_pos;
+  aig.foreach_po([&](net::signal f, uint32_t) {
+    uint64_t v = reference[f.get_node()][0];
+    ref_pos.push_back(f.is_complemented() ? ~v & sim::tail_mask(256u) : v);
+  });
+
+  std::mt19937_64 rng{GetParam() + 7u};
+  for (int round = 0; round < 10; ++round) {
+    // Fresh signatures for the current network.
+    const auto sig = sim::simulate_aig(aig, patterns);
+    // Collect live equal-signature pairs.
+    std::vector<std::pair<net::node, net::node>> pairs;
+    std::vector<net::node> gates;
+    aig.foreach_gate([&](net::node n) { gates.push_back(n); });
+    for (std::size_t i = 0; i < gates.size() && pairs.size() < 20u; ++i) {
+      for (std::size_t j = i + 1u; j < gates.size(); ++j) {
+        if (sig[gates[i]] == sig[gates[j]]) {
+          pairs.emplace_back(gates[i], gates[j]);
+          break;
+        }
+      }
+    }
+    if (pairs.empty()) {
+      break;
+    }
+    const auto [keep, kill] = pairs[rng() % pairs.size()];
+    if (aig.is_dead(kill) || aig.is_dead(keep)) {
+      continue;
+    }
+    aig.substitute_node(kill, net::signal{keep, false});
+
+    // All POs must still compute their original functions.
+    const auto now = sim::simulate_aig(aig, patterns);
+    uint32_t index = 0;
+    aig.foreach_po([&](net::signal f, uint32_t) {
+      uint64_t v = now[f.get_node()][0];
+      if (f.is_complemented()) {
+        v = ~v & sim::tail_mask(256u);
+      }
+      EXPECT_EQ(v, ref_pos[index]) << "PO " << index << " round " << round;
+      ++index;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubstitutionFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+class CollapseFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CollapseFuzz, CollapsePreservesAllRootFunctions)
+{
+  const uint64_t seed = GetParam();
+  const auto aig = gen::make_random_logic(
+      {9u, 5u, 120u + 30u * static_cast<uint32_t>(seed % 4u), seed, 25u});
+  const auto conv = net::aig_to_klut(aig);
+  const auto patterns = sim::pattern_set::exhaustive(9u);
+  const auto before = sim::simulate_klut_bitwise(conv.klut, patterns);
+
+  for (const uint32_t limit : {2u, 4u, 6u, 10u}) {
+    const auto collapsed = cut::collapse_to_cuts(conv.klut, {}, limit);
+    const auto after = sim::simulate_klut_bitwise(collapsed.net, patterns);
+    for (const auto root : collapsed.roots) {
+      EXPECT_EQ(before[root], after[collapsed.node_map[root]])
+          << "limit " << limit << " root " << root;
+    }
+    // Collapsing shrinks or preserves the gate count.
+    EXPECT_LE(collapsed.net.num_gates(), conv.klut.num_gates());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+class AigerFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(AigerFuzz, BothFormatsRoundTripRandomCircuits)
+{
+  const auto original = gen::make_random_logic(
+      {11u, 7u, 250u, GetParam() + 50u, 35u});
+  for (const bool binary : {false, true}) {
+    std::stringstream ss;
+    if (binary) {
+      io::write_aiger_binary(original, ss);
+    } else {
+      io::write_aiger_ascii(original, ss);
+    }
+    const auto reread = io::read_aiger(ss);
+    ASSERT_EQ(reread.num_gates(), original.num_gates());
+    // Exhaustive functional identity over 11 PIs via simulation.
+    const auto patterns = sim::pattern_set::exhaustive(11u);
+    const auto sa = sim::simulate_aig(original, patterns);
+    const auto sb = sim::simulate_aig(reread, patterns);
+    for (uint32_t i = 0; i < original.num_pos(); ++i) {
+      const auto fa = original.po_at(i);
+      const auto fb = reread.po_at(i);
+      const uint64_t flip =
+          (fa.is_complemented() != fb.is_complemented()) ? ~uint64_t{0} : 0u;
+      for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+        ASSERT_EQ(sa[fa.get_node()][w] ^ flip, sb[fb.get_node()][w]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigerFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+} // namespace

@@ -1,0 +1,147 @@
+#include "gen/arithmetic.hpp"
+#include "gen/random_logic.hpp"
+#include "network/convert.hpp"
+#include "sim/bitwise_sim.hpp"
+#include "sim/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace stps;
+
+TEST(Patterns, RandomShapeAndTail)
+{
+  const auto p = sim::pattern_set::random(5u, 100u, 7u);
+  EXPECT_EQ(p.num_inputs(), 5u);
+  EXPECT_EQ(p.num_patterns(), 100u);
+  EXPECT_EQ(p.num_words(), 2u);
+  // Tail bits beyond pattern 99 must be zero.
+  for (uint32_t i = 0; i < 5u; ++i) {
+    EXPECT_EQ(p.input_bits(i)[1] >> 36u, 0u);
+  }
+}
+
+TEST(Patterns, ExhaustiveEnumeratesAllAssignments)
+{
+  const auto p = sim::pattern_set::exhaustive(4u);
+  EXPECT_EQ(p.num_patterns(), 16u);
+  for (uint64_t pat = 0; pat < 16u; ++pat) {
+    for (uint32_t input = 0; input < 4u; ++input) {
+      EXPECT_EQ(p.bit(input, pat), ((pat >> input) & 1u) != 0u);
+    }
+  }
+}
+
+TEST(Patterns, AddPatternAppends)
+{
+  sim::pattern_set p{3u};
+  p.add_pattern({true, false, true});
+  p.add_pattern({false, true, false});
+  EXPECT_EQ(p.num_patterns(), 2u);
+  EXPECT_TRUE(p.bit(0, 0));
+  EXPECT_FALSE(p.bit(1, 0));
+  EXPECT_TRUE(p.bit(2, 0));
+  EXPECT_FALSE(p.bit(0, 1));
+  EXPECT_TRUE(p.bit(1, 1));
+}
+
+TEST(Simulate, AdderComputesArithmetic)
+{
+  const uint32_t width = 16u;
+  auto aig = stps::gen::make_adder(width);
+  const auto patterns = sim::pattern_set::random(aig.num_pis(), 256u, 11u);
+  const auto sig = sim::simulate_aig(aig, patterns);
+
+  const auto po_value = [&](uint32_t po, uint64_t pat) {
+    const auto f = aig.po_at(po);
+    const bool v = (sig[f.get_node()][pat >> 6u] >> (pat & 63u)) & 1u;
+    return v != f.is_complemented();
+  };
+  for (uint64_t pat = 0; pat < 256u; ++pat) {
+    uint64_t a = 0, b = 0;
+    for (uint32_t i = 0; i < width; ++i) {
+      a |= uint64_t{patterns.bit(i, pat)} << i;
+      b |= uint64_t{patterns.bit(width + i, pat)} << i;
+    }
+    const uint64_t cin = patterns.bit(2u * width, pat);
+    const uint64_t sum = a + b + cin;
+    for (uint32_t i = 0; i <= width; ++i) {
+      EXPECT_EQ(po_value(i, pat), ((sum >> i) & 1u) != 0u)
+          << "pattern " << pat << " bit " << i;
+    }
+  }
+}
+
+class SimCrossCheck : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SimCrossCheck, WordParallelMatchesSingleEvaluation)
+{
+  const auto aig = stps::gen::make_random_logic(
+      {12u, 8u, 300u, GetParam(), 25u});
+  const auto patterns = sim::pattern_set::random(12u, 64u, GetParam() + 1u);
+  const auto sig = sim::simulate_aig(aig, patterns);
+
+  for (uint64_t pat = 0; pat < 8u; ++pat) { // sample patterns
+    std::vector<bool> assignment;
+    for (uint32_t i = 0; i < 12u; ++i) {
+      assignment.push_back(patterns.bit(i, pat));
+    }
+    std::vector<bool> buf(assignment.begin(), assignment.end());
+    bool plain[12];
+    for (uint32_t i = 0; i < 12u; ++i) {
+      plain[i] = buf[i];
+    }
+    aig.foreach_gate([&](net::node n) {
+      const bool expect = sim::evaluate_aig_node(
+          aig, n, std::span<const bool>{plain, 12u});
+      const bool got = (sig[n][0] >> pat) & 1u;
+      EXPECT_EQ(got, expect) << "node " << n << " pattern " << pat;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimCrossCheck, ::testing::Values(1u, 2u, 3u));
+
+TEST(Simulate, KlutBitwiseMatchesAig)
+{
+  const auto aig = stps::gen::make_max(12u);
+  const auto conv = net::aig_to_klut(aig);
+  const auto patterns = sim::pattern_set::random(aig.num_pis(), 320u, 5u);
+  const auto sig_aig = sim::simulate_aig(aig, patterns);
+  const auto sig_klut = sim::simulate_klut_bitwise(conv.klut, patterns);
+  aig.foreach_gate([&](net::node n) {
+    const auto m = conv.node_map[n];
+    EXPECT_EQ(sig_aig[n], sig_klut[m]) << "node " << n;
+  });
+}
+
+TEST(Simulate, IncrementalLastWordMatchesFullResim)
+{
+  const auto aig = stps::gen::make_random_logic({10u, 6u, 200u, 9u, 20u});
+  auto patterns = sim::pattern_set::random(10u, 64u, 10u);
+  auto sig = sim::simulate_aig(aig, patterns);
+
+  // Append 3 counter-example-style patterns and resim incrementally.
+  for (uint64_t i = 0; i < 3u; ++i) {
+    std::vector<bool> ce;
+    for (uint32_t j = 0; j < 10u; ++j) {
+      ce.push_back(((i + j) % 3u) == 0u);
+    }
+    patterns.add_pattern(ce);
+    sim::resimulate_aig_last_word(aig, patterns, sig);
+  }
+  const auto full = sim::simulate_aig(aig, patterns);
+  aig.foreach_gate([&](net::node n) { EXPECT_EQ(sig[n], full[n]); });
+}
+
+TEST(Simulate, InputCountMismatchThrows)
+{
+  const auto aig = stps::gen::make_adder(4u);
+  const auto patterns = sim::pattern_set::random(3u, 64u, 1u);
+  EXPECT_THROW(sim::simulate_aig(aig, patterns), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+#include "stp/logic_matrix.hpp"
+#include "stp/matrix.hpp"
+#include "tt/operations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using stps::stp::logic_matrix;
+using stps::stp::matrix;
+
+matrix random_matrix(std::size_t rows, std::size_t cols, uint64_t seed)
+{
+  std::mt19937_64 rng{seed};
+  matrix m{rows, cols};
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.set(r, c, rng() & 1u);
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityAndMultiply)
+{
+  const matrix a = random_matrix(3, 4, 1);
+  EXPECT_EQ(multiply(matrix::identity(3), a), a);
+  EXPECT_EQ(multiply(a, matrix::identity(4)), a);
+  EXPECT_THROW(multiply(a, a), std::invalid_argument);
+}
+
+TEST(Matrix, KroneckerDimensions)
+{
+  const matrix a = random_matrix(2, 3, 2);
+  const matrix b = random_matrix(4, 5, 3);
+  const matrix k = kronecker(a, b);
+  EXPECT_EQ(k.rows(), 8u);
+  EXPECT_EQ(k.cols(), 15u);
+  // Spot-check the block structure.
+  for (std::size_t ar = 0; ar < 2; ++ar) {
+    for (std::size_t ac = 0; ac < 3; ++ac) {
+      for (std::size_t br = 0; br < 4; ++br) {
+        for (std::size_t bc = 0; bc < 5; ++bc) {
+          EXPECT_EQ(k.at(ar * 4 + br, ac * 5 + bc),
+                    a.at(ar, ac) && b.at(br, bc));
+        }
+      }
+    }
+  }
+}
+
+TEST(Matrix, StpReducesToMultiplyWhenCompatible)
+{
+  const matrix a = random_matrix(3, 4, 4);
+  const matrix b = random_matrix(4, 2, 5);
+  EXPECT_EQ(semi_tensor_product(a, b), multiply(a, b));
+}
+
+TEST(Matrix, StpDefinitionDimensions)
+{
+  // X in M_{2x4}, Y in M_{2x2}: t = lcm(4,2) = 4,
+  // X ⋉ Y = (X ⊗ I1)(Y ⊗ I2) has dimensions 2x4 · ... → 2 x 4.
+  const matrix x = random_matrix(2, 4, 6);
+  const matrix y = random_matrix(2, 2, 7);
+  const matrix r = semi_tensor_product(x, y);
+  EXPECT_EQ(r.rows(), 2u);
+  EXPECT_EQ(r.cols(), 4u);
+  EXPECT_EQ(r, multiply(x, kronecker(y, matrix::identity(2))));
+}
+
+TEST(Matrix, Property1SwapWithRowVector)
+{
+  // A ⋉ Z_r = Z_r ⋉ (I_t ⊗ A) for a 1×t row vector Z_r.
+  const matrix a = random_matrix(2, 2, 8);
+  const matrix zr = random_matrix(1, 3, 9);
+  const matrix lhs = semi_tensor_product(a, zr);
+  const matrix rhs =
+      semi_tensor_product(zr, kronecker(matrix::identity(3), a));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Matrix, Property1SwapWithColumnVector)
+{
+  // Z_c ⋉ A = (I_t ⊗ A) ⋉ Z_c for a t×1 column vector Z_c.
+  const matrix a = random_matrix(2, 2, 10);
+  const matrix zc = random_matrix(3, 1, 11);
+  const matrix lhs = semi_tensor_product(zc, a);
+  const matrix rhs =
+      semi_tensor_product(kronecker(matrix::identity(3), a), zc);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Matrix, SwapMatrixSwapsTensorFactors)
+{
+  // W_{[m,n]} (x ⊗ y) = y ⊗ x for basis vectors.
+  const std::size_t m = 2, n = 3;
+  const matrix w = matrix::swap(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    matrix x{m, 1};
+    x.set(i, 0, 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      matrix y{n, 1};
+      y.set(j, 0, 1);
+      const matrix xy = kronecker(x, y);
+      const matrix yx = kronecker(y, x);
+      EXPECT_EQ(multiply(w, xy), yx);
+    }
+  }
+}
+
+TEST(Matrix, PowerReduceDuplicatesBooleans)
+{
+  const matrix pr = matrix::power_reduce();
+  for (const bool v : {false, true}) {
+    const matrix x = matrix::boolean(v);
+    EXPECT_EQ(semi_tensor_product(pr, x), kronecker(x, x));
+  }
+}
+
+TEST(LogicMatrix, StructuralMatricesMatchPaper)
+{
+  EXPECT_EQ(logic_matrix::negation().to_string(), "[0 1; 1 0]");
+  EXPECT_EQ(logic_matrix::disjunction().to_string(),
+            "[1 1 1 0; 0 0 0 1]");
+  EXPECT_EQ(logic_matrix::implication().to_string(),
+            "[1 0 1 1; 0 1 0 0]");
+}
+
+TEST(LogicMatrix, DenseRoundTrip)
+{
+  for (uint32_t n = 0; n <= 6u; ++n) {
+    const logic_matrix m{stps::tt::make_random(n, 50u + n)};
+    const matrix dense = m.to_dense();
+    EXPECT_EQ(dense.rows(), 2u);
+    EXPECT_EQ(dense.cols(), std::size_t{1} << n);
+    EXPECT_EQ(logic_matrix::from_dense(dense), m);
+  }
+}
+
+TEST(LogicMatrix, FromDenseRejectsNonLogicColumns)
+{
+  matrix m{2, 2};
+  m.set(0, 0, 1);
+  m.set(1, 0, 1); // column [1 1]^T is not in B
+  m.set(0, 1, 1);
+  EXPECT_THROW(logic_matrix::from_dense(m), std::invalid_argument);
+}
+
+TEST(LogicMatrix, Example1ImplicationIdentity)
+{
+  // Paper Example 1: M_∨ ⋉ M_¬ = M_→, proving a → b = ¬a ∨ b.  (The
+  // paper writes a plain product; with a 2×4 by 2×2 operand pair that
+  // product *is* the STP: (M_∨ ⊗ I_1)(M_¬ ⊗ I_2).)
+  const matrix lhs = semi_tensor_product(
+      logic_matrix::disjunction().to_dense(),
+      logic_matrix::negation().to_dense());
+  EXPECT_EQ(lhs, logic_matrix::implication().to_dense());
+}
+
+TEST(LogicMatrix, ApplySelectsTruthTableEntry)
+{
+  const auto table = stps::tt::make_random(3u, 123u);
+  const logic_matrix m{table};
+  for (uint32_t x = 0; x < 8u; ++x) {
+    // Leading factor = MSB.
+    const bool inputs[3] = {((x >> 2) & 1u) != 0u, ((x >> 1) & 1u) != 0u,
+                            (x & 1u) != 0u};
+    EXPECT_EQ(m.apply(inputs), table.bit(x));
+  }
+}
+
+TEST(LogicMatrix, ApplyMatchesDenseStpProduct)
+{
+  // The fast column-block pass must equal the literal dense product
+  // M ⋉ x1 ⋉ x2 ⋉ x3.
+  const auto table = stps::tt::make_random(3u, 321u);
+  const logic_matrix m{table};
+  for (uint32_t x = 0; x < 8u; ++x) {
+    matrix acc = m.to_dense();
+    for (uint32_t i = 3u; i-- > 0u;) {
+      // factors applied left to right: x1 first (MSB)
+    }
+    acc = m.to_dense();
+    for (uint32_t pos = 0; pos < 3u; ++pos) {
+      const bool v = ((x >> (2u - pos)) & 1u) != 0u;
+      acc = semi_tensor_product(acc, matrix::boolean(v));
+    }
+    ASSERT_EQ(acc.rows(), 2u);
+    ASSERT_EQ(acc.cols(), 1u);
+    const bool inputs[3] = {((x >> 2) & 1u) != 0u, ((x >> 1) & 1u) != 0u,
+                            (x & 1u) != 0u};
+    EXPECT_EQ(m.apply(inputs), acc.at(0, 0) == 1u);
+  }
+}
+
+TEST(LogicMatrix, ApplyPartialHalvesColumns)
+{
+  const auto table = stps::tt::make_random(4u, 77u);
+  const logic_matrix m{table};
+  for (const bool x1 : {false, true}) {
+    const logic_matrix rest = m.apply_partial(x1);
+    EXPECT_EQ(rest.num_vars(), 3u);
+    // Dense check: M ⋉ x1 equals the residual's dense form.
+    const matrix expect =
+        semi_tensor_product(m.to_dense(), matrix::boolean(x1));
+    EXPECT_EQ(rest.to_dense(), expect);
+  }
+}
+
+class ComposeSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ComposeSweep, ComposeMatchesEvaluation)
+{
+  const uint32_t inner = GetParam();
+  const auto sigma = stps::tt::make_random(2u, 7u + inner);
+  const logic_matrix m_sigma{sigma};
+  const logic_matrix g1{stps::tt::make_random(inner, 100u + inner)};
+  const logic_matrix g2{stps::tt::make_random(inner, 200u + inner)};
+  const logic_matrix subs[2] = {g1, g2};
+  const logic_matrix composed = m_sigma.compose(subs);
+  ASSERT_EQ(composed.num_vars(), inner);
+  for (uint64_t x = 0; x < (uint64_t{1} << inner); ++x) {
+    const bool v1 = g1.table().bit(x);
+    const bool v2 = g2.table().bit(x);
+    // g1 is the leading factor → MSB of sigma's index.
+    const bool expect = sigma.bit((uint64_t{v1} << 1u) | uint64_t{v2});
+    EXPECT_EQ(composed.table().bit(x), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ComposeSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 6u, 8u));
+
+} // namespace

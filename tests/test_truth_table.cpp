@@ -1,0 +1,207 @@
+#include "tt/operations.hpp"
+#include "tt/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using stps::tt::truth_table;
+
+TEST(TruthTable, ConstructsZeroed)
+{
+  for (uint32_t v = 0; v <= 10; ++v) {
+    const truth_table tt{v};
+    EXPECT_EQ(tt.num_vars(), v);
+    EXPECT_EQ(tt.num_bits(), uint64_t{1} << v);
+    for (uint64_t i = 0; i < tt.num_bits(); ++i) {
+      EXPECT_FALSE(tt.bit(i));
+    }
+  }
+}
+
+TEST(TruthTable, WordCount)
+{
+  EXPECT_EQ(stps::tt::words_for(0), 1u);
+  EXPECT_EQ(stps::tt::words_for(6), 1u);
+  EXPECT_EQ(stps::tt::words_for(7), 2u);
+  EXPECT_EQ(stps::tt::words_for(10), 16u);
+}
+
+TEST(TruthTable, SetAndGetBits)
+{
+  truth_table tt{8u};
+  tt.set_bit(0, true);
+  tt.set_bit(200, true);
+  tt.set_bit(255, true);
+  EXPECT_TRUE(tt.bit(0));
+  EXPECT_TRUE(tt.bit(200));
+  EXPECT_TRUE(tt.bit(255));
+  EXPECT_FALSE(tt.bit(1));
+  tt.set_bit(200, false);
+  EXPECT_FALSE(tt.bit(200));
+}
+
+TEST(TruthTable, PaddingMasked)
+{
+  truth_table tt{3u, {0xffffffffffffffffull}};
+  // Only the low 8 bits may survive.
+  EXPECT_EQ(tt.word(0), 0xffull);
+}
+
+TEST(TruthTable, HexRoundTrip)
+{
+  const truth_table and2{2u, {0x8ull}};
+  EXPECT_EQ(and2.to_hex(), "8");
+  EXPECT_EQ(truth_table::from_hex(2u, "8"), and2);
+
+  const truth_table maj{3u, {0xe8ull}};
+  EXPECT_EQ(maj.to_hex(), "e8");
+  EXPECT_EQ(truth_table::from_hex(3u, "e8"), maj);
+}
+
+TEST(TruthTable, BinaryRoundTrip)
+{
+  const truth_table nand2 = truth_table::from_binary("0111");
+  EXPECT_EQ(nand2.num_vars(), 2u);
+  EXPECT_TRUE(nand2.bit(0));
+  EXPECT_TRUE(nand2.bit(1));
+  EXPECT_TRUE(nand2.bit(2));
+  EXPECT_FALSE(nand2.bit(3));
+  EXPECT_EQ(nand2.to_binary(), "0111");
+}
+
+TEST(TruthTable, FromBinaryRejectsBadInput)
+{
+  EXPECT_THROW(truth_table::from_binary("011"), std::invalid_argument);
+  EXPECT_THROW(truth_table::from_binary("01a1"), std::invalid_argument);
+}
+
+TEST(TruthTable, OrderingAndHash)
+{
+  const truth_table a{2u, {0x8ull}};
+  const truth_table b{2u, {0x6ull}};
+  EXPECT_TRUE(b < a);
+  EXPECT_FALSE(a < b);
+  const stps::tt::truth_table_hash h;
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(h(a), h(truth_table(2u, {0x8ull})));
+}
+
+TEST(Operations, Constants)
+{
+  EXPECT_TRUE(stps::tt::is_const0(stps::tt::make_const0(5u)));
+  EXPECT_TRUE(stps::tt::is_const1(stps::tt::make_const1(5u)));
+  EXPECT_FALSE(stps::tt::is_const0(stps::tt::make_const1(0u)));
+  EXPECT_EQ(stps::tt::count_ones(stps::tt::make_const1(7u)), 128u);
+}
+
+TEST(Operations, ElementaryGates)
+{
+  EXPECT_EQ(stps::tt::make_and2().to_binary(), "1000");
+  EXPECT_EQ(stps::tt::make_or2().to_binary(), "1110");
+  EXPECT_EQ(stps::tt::make_xor2().to_binary(), "0110");
+  EXPECT_EQ(stps::tt::make_nand2().to_binary(), "0111");
+  EXPECT_EQ(stps::tt::make_nor2().to_binary(), "0001");
+  EXPECT_EQ(stps::tt::make_xnor2().to_binary(), "1001");
+  EXPECT_EQ(stps::tt::make_maj3().to_binary(), "11101000");
+}
+
+class VarSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(VarSweep, ProjectionsMatchIndexBits)
+{
+  const uint32_t n = GetParam();
+  for (uint32_t v = 0; v < n; ++v) {
+    const auto proj = stps::tt::make_var(n, v);
+    for (uint64_t i = 0; i < proj.num_bits(); ++i) {
+      EXPECT_EQ(proj.bit(i), ((i >> v) & 1u) != 0u) << "var " << v;
+    }
+  }
+}
+
+TEST_P(VarSweep, BooleanOpsAgainstBruteForce)
+{
+  const uint32_t n = GetParam();
+  const auto a = stps::tt::make_random(n, 17u + n);
+  const auto b = stps::tt::make_random(n, 91u + n);
+  const auto t_and = stps::tt::binary_and(a, b);
+  const auto t_or = stps::tt::binary_or(a, b);
+  const auto t_xor = stps::tt::binary_xor(a, b);
+  const auto t_not = stps::tt::unary_not(a);
+  for (uint64_t i = 0; i < a.num_bits(); ++i) {
+    EXPECT_EQ(t_and.bit(i), a.bit(i) && b.bit(i));
+    EXPECT_EQ(t_or.bit(i), a.bit(i) || b.bit(i));
+    EXPECT_EQ(t_xor.bit(i), a.bit(i) != b.bit(i));
+    EXPECT_EQ(t_not.bit(i), !a.bit(i));
+  }
+}
+
+TEST_P(VarSweep, CofactorsAgainstBruteForce)
+{
+  const uint32_t n = GetParam();
+  if (n == 0u) {
+    return;
+  }
+  const auto f = stps::tt::make_random(n, 1234u + n);
+  for (uint32_t v = 0; v < n; ++v) {
+    const auto f0 = stps::tt::cofactor0(f, v);
+    const auto f1 = stps::tt::cofactor1(f, v);
+    for (uint64_t i = 0; i < f.num_bits(); ++i) {
+      const uint64_t i0 = i & ~(uint64_t{1} << v);
+      const uint64_t i1 = i | (uint64_t{1} << v);
+      EXPECT_EQ(f0.bit(i), f.bit(i0));
+      EXPECT_EQ(f1.bit(i), f.bit(i1));
+    }
+    EXPECT_EQ(stps::tt::depends_on(f, v), f0 != f1);
+  }
+}
+
+TEST_P(VarSweep, ComposeAgainstBruteForce)
+{
+  const uint32_t inner_vars = GetParam();
+  if (inner_vars == 0u) {
+    return;
+  }
+  const uint32_t outer_vars = 3u;
+  const auto f = stps::tt::make_random(outer_vars, 555u);
+  std::vector<stps::tt::truth_table> gs;
+  for (uint32_t i = 0; i < outer_vars; ++i) {
+    gs.push_back(stps::tt::make_random(inner_vars, 1000u + i));
+  }
+  const auto composed = stps::tt::compose(f, gs);
+  ASSERT_EQ(composed.num_vars(), inner_vars);
+  for (uint64_t x = 0; x < composed.num_bits(); ++x) {
+    uint64_t index = 0;
+    for (uint32_t i = 0; i < outer_vars; ++i) {
+      index |= uint64_t{gs[i].bit(x)} << i;
+    }
+    EXPECT_EQ(composed.bit(x), f.bit(index));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, VarSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 6u, 7u, 8u, 10u));
+
+TEST(Operations, ToggleRate)
+{
+  // 0101 toggles on every bit boundary: 3 toggles over 4 bits.
+  const truth_table t = truth_table::from_binary("0101");
+  EXPECT_DOUBLE_EQ(stps::tt::toggle_rate(t), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(stps::tt::toggle_rate(stps::tt::make_const0(4u)), 0.0);
+}
+
+TEST(Operations, ExtendKeepsFunction)
+{
+  const auto f = stps::tt::make_random(3u, 77u);
+  const auto g = stps::tt::extend_to(f, 8u);
+  for (uint64_t i = 0; i < g.num_bits(); ++i) {
+    EXPECT_EQ(g.bit(i), f.bit(i & 7u));
+  }
+  EXPECT_THROW(stps::tt::extend_to(g, 3u), std::invalid_argument);
+}
+
+} // namespace
