@@ -13,6 +13,10 @@
 /// is 2^17 (131072) so the whole table regenerates in laptop-CI time —
 /// override with --patterns N.  Expected shape: x ≈ 1 on TA, x ≈ 4-10 on
 /// TL (paper: geomean 7.18×).
+///
+/// `--json <path>` additionally writes per-benchmark gate counts and the
+/// four simulation times as machine-readable JSON (perf-trajectory
+/// convention; absolute seconds are machine-specific, compare ratios).
 #include "core/stp_simulator.hpp"
 #include "cut/lut_mapper.hpp"
 #include "gen/benchmarks.hpp"
@@ -39,6 +43,7 @@ double time_call(const std::function<void()>& fn)
 struct row
 {
   std::string name;
+  uint32_t gates = 0, luts = 0;
   double ta_base = 0, tl_base = 0, ta_stp = 0, tl_stp = 0;
 };
 
@@ -57,9 +62,13 @@ int main(int argc, char** argv)
 {
   using namespace stps;
   uint64_t num_patterns = uint64_t{1} << 17u;
+  std::string json_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--patterns") == 0) {
       num_patterns = std::stoull(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
     }
   }
 
@@ -81,6 +90,8 @@ int main(int argc, char** argv)
 
     row r;
     r.name = name;
+    r.gates = aig.num_gates();
+    r.luts = mapped.klut.num_gates();
     r.ta_base = time_call([&] { sim::simulate_aig(aig, patterns); });
     r.ta_stp = time_call([&] { stp_sim.simulate_aig(aig, patterns); });
     r.tl_base =
@@ -111,5 +122,30 @@ int main(int argc, char** argv)
               geomean(tl_x));
   std::printf("\npaper reference: TA improvement 0.99x, TL improvement "
               "7.18x (max 22.04x)\n");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"table1_simulation\",\n"
+                    "  \"patterns\": %llu,\n  \"benchmarks\": [\n",
+                 static_cast<unsigned long long>(num_patterns));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"gates\": %u, \"luts\": %u, "
+                   "\"ta_base_seconds\": %.6f, \"ta_stp_seconds\": %.6f, "
+                   "\"tl_base_seconds\": %.6f, \"tl_stp_seconds\": %.6f}%s\n",
+                   r.name.c_str(), r.gates, r.luts, r.ta_base, r.ta_stp,
+                   r.tl_base, r.tl_stp, i + 1u == rows.size() ? "" : ",");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"geomean\": {\"ta_improvement\": %.4f, "
+                 "\"tl_improvement\": %.4f}\n}\n",
+                 geomean(ta_x), geomean(tl_x));
+    std::fclose(f);
+  }
   return 0;
 }

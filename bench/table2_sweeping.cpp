@@ -15,6 +15,12 @@
 /// comes from fewer satisfiable calls — is the reproduced claim
 /// (paper: −91% satisfiable calls, −40% total calls, ~2× sim time,
 /// −35% total runtime).
+///
+/// `--json <path>` additionally writes the per-benchmark counters
+/// (gates, SAT calls, sim/SAT/total seconds for both engines) and the
+/// geometric means as machine-readable JSON — the perf-trajectory
+/// convention: each PR regenerates BENCH_sweep.json so regressions show
+/// up in review (absolute seconds are machine-specific; compare ratios).
 #include "gen/benchmarks.hpp"
 #include "network/traversal.hpp"
 #include "sweep/cec.hpp"
@@ -38,15 +44,81 @@ double geomean(const std::vector<double>& xs)
   return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
+struct json_row
+{
+  std::string name;
+  uint32_t pis, pos, levels, gates, result_gates;
+  stps::sweep::sweep_stats fraig, stp;
+  bool verified;
+};
+
+void write_engine_json(std::FILE* f, const char* key,
+                       const stps::sweep::sweep_stats& s)
+{
+  std::fprintf(f,
+               "      \"%s\": {\"sat_calls_total\": %llu, "
+               "\"sat_calls_satisfiable\": %llu, \"merges\": %llu, "
+               "\"sim_seconds\": %.6f, \"sat_seconds\": %.6f, "
+               "\"total_seconds\": %.6f}",
+               key, static_cast<unsigned long long>(s.sat_calls_total),
+               static_cast<unsigned long long>(s.sat_calls_satisfiable),
+               static_cast<unsigned long long>(s.merges), s.sim_seconds,
+               s.sat_seconds, s.total_seconds);
+}
+
+bool write_json(const std::string& path, uint64_t base_patterns,
+                const std::vector<json_row>& rows)
+{
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"table2_sweeping\",\n"
+                  "  \"patterns\": %llu,\n  \"benchmarks\": [\n",
+               static_cast<unsigned long long>(base_patterns));
+  std::vector<double> time_f, time_s, sat_f, sat_s;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const json_row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"pis\": %u, \"pos\": %u, "
+                 "\"levels\": %u, \"gates\": %u, \"result_gates\": %u, "
+                 "\"cec_verified\": %s,\n",
+                 r.name.c_str(), r.pis, r.pos, r.levels, r.gates,
+                 r.result_gates, r.verified ? "true" : "false");
+    write_engine_json(f, "fraig", r.fraig);
+    std::fprintf(f, ",\n");
+    write_engine_json(f, "stp", r.stp);
+    std::fprintf(f, "\n    }%s\n", i + 1u == rows.size() ? "" : ",");
+    time_f.push_back(r.fraig.total_seconds);
+    time_s.push_back(r.stp.total_seconds);
+    sat_f.push_back(static_cast<double>(r.fraig.sat_calls_satisfiable) + 1.0);
+    sat_s.push_back(static_cast<double>(r.stp.sat_calls_satisfiable) + 1.0);
+  }
+  std::fprintf(f,
+               "  ],\n  \"geomean\": {\"fraig_total_seconds\": %.6f, "
+               "\"stp_total_seconds\": %.6f, \"runtime_ratio\": %.4f, "
+               "\"satisfiable_ratio\": %.4f}\n}\n",
+               geomean(time_f), geomean(time_s),
+               geomean(time_s) / geomean(time_f),
+               geomean(sat_s) / geomean(sat_f));
+  std::fclose(f);
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
   using namespace stps;
   uint64_t base_patterns = 1024u;
+  std::string json_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--patterns") == 0) {
       base_patterns = std::stoull(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
     }
   }
 
@@ -62,6 +134,7 @@ int main(int argc, char** argv)
   std::vector<double> g_sat_f, g_sat_s, g_tot_f, g_tot_s, g_sim_f, g_sim_s,
       g_time_f, g_time_s, g_gate, g_result;
   bool all_verified = true;
+  std::vector<json_row> json_rows;
 
   for (const auto& name : gen::sweep_names()) {
     const net::aig_network original = gen::make_sweep_benchmark(name);
@@ -95,6 +168,9 @@ int main(int argc, char** argv)
                 ss.total_seconds, ss.total_seconds / fs.total_seconds,
                 ok ? "" : "  [CEC FAILED]");
 
+    json_rows.push_back({name, original.num_pis(), original.num_pos(),
+                         fs.levels_before, fs.gates_before, ss.gates_after,
+                         fs, ss, ok});
     g_sat_f.push_back(static_cast<double>(fs.sat_calls_satisfiable) + 1.0);
     g_sat_s.push_back(static_cast<double>(ss.sat_calls_satisfiable) + 1.0);
     g_tot_f.push_back(static_cast<double>(fs.sat_calls_total) + 1.0);
@@ -127,5 +203,8 @@ int main(int argc, char** argv)
               geomean(g_time_s) / geomean(g_time_f));
   std::printf("\nall results CEC-verified: %s\n",
               all_verified ? "yes" : "NO — BUG");
+  if (!json_path.empty() && !write_json(json_path, base_patterns, json_rows)) {
+    return 1;
+  }
   return all_verified ? 0 : 1;
 }

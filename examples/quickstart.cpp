@@ -35,10 +35,10 @@ int main()
   // 3. Simulate 4096 random patterns, baseline vs STP matrix pass.
   const sim::pattern_set patterns =
       sim::pattern_set::random(adder.num_pis(), 4096u, 1u);
-  const sim::signature_table baseline =
+  const sim::signature_store baseline =
       sim::simulate_klut_bitwise(mapped.klut, patterns);
   const core::stp_simulator stp_sim;
-  const sim::signature_table stp = stp_sim.simulate_all(mapped.klut, patterns);
+  const sim::signature_store stp = stp_sim.simulate_all(mapped.klut, patterns);
   bool agree = true;
   mapped.klut.foreach_gate([&](net::klut_network::node n) {
     agree = agree && baseline[n] == stp[n];

@@ -10,21 +10,6 @@ namespace {
 
 using knode = net::klut_network::node;
 
-/// Re-establishes the canonical-tail invariant on every signature row.
-void mask_tails(sim::signature_table& sig, uint64_t num_patterns,
-                std::size_t words)
-{
-  if (words == 0u) {
-    return;
-  }
-  const uint64_t mask = sim::tail_mask(num_patterns);
-  for (auto& row : sig) {
-    if (row.size() == words) {
-      row.back() &= mask;
-    }
-  }
-}
-
 } // namespace
 
 uint32_t stp_simulator::leaf_limit(uint64_t num_patterns) const
@@ -41,24 +26,17 @@ uint32_t stp_simulator::leaf_limit(uint64_t num_patterns) const
   return std::max(limit, 2u);
 }
 
-sim::signature_table stp_simulator::simulate_all(
+sim::signature_store stp_simulator::simulate_all(
     const net::klut_network& klut, const sim::pattern_set& patterns) const
 {
   if (patterns.num_inputs() != klut.num_pis()) {
     throw std::invalid_argument{"simulate_all: input count mismatch"};
   }
   const std::size_t words = patterns.num_words();
-  const uint64_t n_pat = patterns.num_patterns();
-  sim::signature_table sig(klut.size());
-  sig[0].assign(words, 0u);
-  sig[1].assign(words, ~uint64_t{0});
-  if (words != 0u && (n_pat % 64u) != 0u) {
-    sig[1].back() = (uint64_t{1} << (n_pat % 64u)) - 1u;
-  }
-  klut.foreach_pi([&](knode n) {
-    const auto row = patterns.input_bits(n - 2u);
-    sig[n].assign(row.begin(), row.end());
-  });
+  sim::signature_store sig(klut.size(), words);
+  sig.fill_row(1u, ~uint64_t{0});
+  klut.foreach_pi(
+      [&](knode n) { sig.assign_row(n, patterns.input_bits(n - 2u)); });
 
   stp_scratch scratch;
   scratch.reserve(klut.max_fanin_size());
@@ -67,13 +45,12 @@ sim::signature_table stp_simulator::simulate_all(
   klut.foreach_gate([&](knode n) {
     const auto& fis = klut.fanins(n);
     const auto& table = klut.table(n);
-    auto& out = sig[n];
-    out.resize(words);
+    uint64_t* out = sig.row(n).data();
     const std::size_t k = fis.size();
     ins.resize(k);
     rows.resize(k);
     for (std::size_t i = 0; i < k; ++i) {
-      rows[i] = sig[fis[i]].data();
+      rows[i] = sig.row(fis[i]).data();
     }
     for (std::size_t w = 0; w < words; ++w) {
       for (std::size_t i = 0; i < k; ++i) {
@@ -82,7 +59,7 @@ sim::signature_table stp_simulator::simulate_all(
       out[w] = stp_evaluate_word(table, ins, scratch);
     }
   });
-  mask_tails(sig, patterns.num_patterns(), words);
+  sig.mask_tail(patterns.num_patterns());
   return sig;
 }
 
@@ -121,17 +98,10 @@ stp_simulator::simulate_specified(const net::klut_network& klut,
   }
 
   const std::size_t words = patterns.num_words();
-  const uint64_t n_pat = patterns.num_patterns();
-  sim::signature_table sig(collapsed.net.size());
-  sig[0].assign(words, 0u);
-  sig[1].assign(words, ~uint64_t{0});
-  if (words != 0u && (n_pat % 64u) != 0u) {
-    sig[1].back() = (uint64_t{1} << (n_pat % 64u)) - 1u;
-  }
-  collapsed.net.foreach_pi([&](knode n) {
-    const auto row = patterns.input_bits(n - 2u);
-    sig[n].assign(row.begin(), row.end());
-  });
+  sim::signature_store sig(collapsed.net.size(), words);
+  sig.fill_row(1u, ~uint64_t{0});
+  collapsed.net.foreach_pi(
+      [&](knode n) { sig.assign_row(n, patterns.input_bits(n - 2u)); });
 
   stp_scratch scratch;
   scratch.reserve(collapsed.net.max_fanin_size());
@@ -144,12 +114,11 @@ stp_simulator::simulate_specified(const net::klut_network& klut,
     ++simulated;
     const auto& fis = collapsed.net.fanins(n);
     const auto& table = collapsed.net.table(n);
-    auto& out = sig[n];
-    out.resize(words);
+    uint64_t* out = sig.row(n).data();
     ins.resize(fis.size());
     for (std::size_t w = 0; w < words; ++w) {
       for (std::size_t i = 0; i < fis.size(); ++i) {
-        ins[i] = sig[fis[i]][w];
+        ins[i] = sig.word(fis[i], w);
       }
       out[w] = stp_evaluate_word(table, ins, scratch);
     }
@@ -161,30 +130,28 @@ stp_simulator::simulate_specified(const net::klut_network& klut,
     stats->num_simulated = simulated;
   }
 
-  mask_tails(sig, patterns.num_patterns(), words);
+  sig.mask_tail(patterns.num_patterns());
 
   std::unordered_map<knode, std::vector<uint64_t>> result;
   result.reserve(targets.size());
   for (const knode t : targets) {
     const knode m = collapsed.node_map[t];
-    result.emplace(t, sig[m]);
+    const auto row = sig.row(m);
+    result.emplace(t, std::vector<uint64_t>(row.begin(), row.end()));
   }
   return result;
 }
 
-sim::signature_table stp_simulator::simulate_aig(
+sim::signature_store stp_simulator::simulate_aig(
     const net::aig_network& aig, const sim::pattern_set& patterns) const
 {
   if (patterns.num_inputs() != aig.num_pis()) {
     throw std::invalid_argument{"simulate_aig: input count mismatch"};
   }
   const std::size_t words = patterns.num_words();
-  sim::signature_table sig(aig.size());
-  sig[0].assign(words, 0u);
-  aig.foreach_pi([&](net::node n) {
-    const auto row = patterns.input_bits(n - 1u);
-    sig[n].assign(row.begin(), row.end());
-  });
+  sim::signature_store sig(aig.size(), words);
+  aig.foreach_pi(
+      [&](net::node n) { sig.assign_row(n, patterns.input_bits(n - 1u)); });
 
   // Every AND with edge complements is one of four 2-input LUTs; fold the
   // complements into the structural matrix so the matrix pass is uniform.
@@ -206,11 +173,9 @@ sim::signature_table stp_simulator::simulate_aig(
     const uint64_t h1 = table.bit(1u) ? ~uint64_t{0} : 0u;
     const uint64_t h2 = table.bit(2u) ? ~uint64_t{0} : 0u;
     const uint64_t h3 = table.bit(3u) ? ~uint64_t{0} : 0u;
-    const uint64_t* sa = sig[a.get_node()].data();
-    const uint64_t* sb = sig[b.get_node()].data();
-    auto& out = sig[n];
-    out.resize(words);
-    uint64_t* po = out.data();
+    const uint64_t* sa = sig.row(a.get_node()).data();
+    const uint64_t* sb = sig.row(b.get_node()).data();
+    uint64_t* po = sig.row(n).data();
     for (std::size_t w = 0; w < words; ++w) {
       const uint64_t va = sa[w];
       const uint64_t vb = sb[w];
@@ -219,7 +184,7 @@ sim::signature_table stp_simulator::simulate_aig(
       po[w] = (va & blk1) | (~va & blk0);
     }
   });
-  mask_tails(sig, patterns.num_patterns(), words);
+  sig.mask_tail(patterns.num_patterns());
   return sig;
 }
 

@@ -22,6 +22,7 @@
 #include "network/aig.hpp"
 #include "network/klut.hpp"
 #include "sim/patterns.hpp"
+#include "sim/signature_store.hpp"
 
 #include <span>
 #include <unordered_map>
@@ -48,7 +49,7 @@ public:
   }
 
   /// Mode `a`: signatures of every node (indexed by klut node id).
-  sim::signature_table simulate_all(const net::klut_network& klut,
+  sim::signature_store simulate_all(const net::klut_network& klut,
                                     const sim::pattern_set& patterns) const;
 
   /// Mode `s`: signatures of \p targets only; key = original node id.
@@ -59,7 +60,7 @@ public:
                      stp_sim_stats* stats = nullptr) const;
 
   /// STP matrix pass over an AIG (Table I, column TA).
-  sim::signature_table simulate_aig(const net::aig_network& aig,
+  sim::signature_store simulate_aig(const net::aig_network& aig,
                                     const sim::pattern_set& patterns) const;
 
 private:

@@ -1,8 +1,13 @@
 #include "sat/encoder.hpp"
 
+#include <array>
 #include <stdexcept>
 
 namespace stps::sat {
+
+namespace {
+constexpr var no_fanin = ~var{0};
+} // namespace
 
 aig_encoder::aig_encoder(const net::aig_network& aig, solver& s)
     : aig_{aig}, solver_{s}, node_var_(aig.size(), 0u)
@@ -10,6 +15,8 @@ aig_encoder::aig_encoder(const net::aig_network& aig, solver& s)
   const_var_ = solver_.new_var();
   solver_.add_clause({lit{const_var_, true}}); // constant node is false
   node_var_[0] = const_var_ + 1u;
+  var_fanins_.push_back({no_fanin, no_fanin});
+  scope_mark_.push_back(0u);
 }
 
 lit aig_encoder::literal(net::signal f)
@@ -29,6 +36,8 @@ lit aig_encoder::literal(net::signal f)
       }
       if (aig_.is_pi(n)) {
         node_var_[n] = solver_.new_var() + 1u;
+        var_fanins_.push_back({no_fanin, no_fanin});
+        scope_mark_.push_back(0u);
         stack.pop_back();
         continue;
       }
@@ -50,6 +59,9 @@ lit aig_encoder::literal(net::signal f)
       }
       const var vn = solver_.new_var();
       node_var_[n] = vn + 1u;
+      var_fanins_.push_back({node_var_[a.get_node()] - 1u,
+                             node_var_[b.get_node()] - 1u});
+      scope_mark_.push_back(0u);
       ++encoded_count_;
       const lit ln{vn, false};
       const lit la{node_var_[a.get_node()] - 1u, a.is_complemented()};
@@ -64,16 +76,31 @@ lit aig_encoder::literal(net::signal f)
   return lit{node_var_[root] - 1u, f.is_complemented()};
 }
 
-lit aig_encoder::xor_output(lit a, lit b)
+void aig_encoder::scope_query(std::span<const lit> roots, var extra)
 {
-  const var vt = solver_.new_var();
-  const lit t{vt, false};
-  // t ↔ a ⊕ b
-  solver_.add_clause({~t, a, b});
-  solver_.add_clause({~t, ~a, ~b});
-  solver_.add_clause({t, ~a, b});
-  solver_.add_clause({t, a, ~b});
-  return t;
+  ++scope_epoch_;
+  scope_vars_.clear();
+  for (const lit r : roots) {
+    const var v = r.variable();
+    if (scope_mark_[v] != scope_epoch_) {
+      scope_mark_[v] = scope_epoch_;
+      scope_vars_.push_back(v);
+    }
+  }
+  // var_fanins_ is topologically ordered (antecedents precede their
+  // gate), so the worklist never revisits a variable.
+  for (std::size_t i = 0; i < scope_vars_.size(); ++i) {
+    for (const var f : var_fanins_[scope_vars_[i]]) {
+      if (f != no_fanin && scope_mark_[f] != scope_epoch_) {
+        scope_mark_[f] = scope_epoch_;
+        scope_vars_.push_back(f);
+      }
+    }
+  }
+  if (extra != no_fanin) {
+    scope_vars_.push_back(extra);
+  }
+  solver_.set_decision_vars(scope_vars_);
 }
 
 result aig_encoder::prove_equivalent(net::signal a, net::signal b,
@@ -81,11 +108,36 @@ result aig_encoder::prove_equivalent(net::signal a, net::signal b,
 {
   const lit la = literal(a);
   const lit lb = literal(b);
-  // a == b  iff  a ⊕ b is unsatisfiable; a == !b iff ¬(a ⊕ b) is.
-  const lit t = xor_output(la, lb);
+  // a == b  iff  a ⊕ b is unsatisfiable; a == !b iff ¬(a ⊕ b) is.  The
+  // XOR output variable is reused across queries and its defining
+  // clauses are retracted afterwards.
+  if (xor_var_ == 0u) {
+    xor_var_ = solver_.new_var() + 1u;
+    var_fanins_.push_back({no_fanin, no_fanin}); // keep var-indexed arrays
+    scope_mark_.push_back(0u);                   // aligned with solver vars
+  }
+  const lit t{xor_var_ - 1u, false};
+  const lit roots[2] = {la, lb};
+  scope_query(roots, xor_var_ - 1u);
+  // t ↔ la ⊕ lb
+  const lit c1[3] = {~t, la, lb};
+  const lit c2[3] = {~t, ~la, ~lb};
+  const lit c3[3] = {t, ~la, lb};
+  const lit c4[3] = {t, la, ~lb};
+  solver::clause_handle handles[4] = {
+      solver_.add_removable_clause(c1), solver_.add_removable_clause(c2),
+      solver_.add_removable_clause(c3), solver_.add_removable_clause(c4)};
   const lit assumption = complement ? ~t : t;
-  return solver_.solve(std::span<const lit>{&assumption, 1u},
-                       conflict_budget);
+  const result r = solver_.solve(std::span<const lit>{&assumption, 1u},
+                                 conflict_budget);
+  for (const solver::clause_handle h : handles) {
+    solver_.remove_clause(h);
+  }
+  solver_.purge_learnts_with(xor_var_ - 1u);
+  if (solver_.fixed_value(xor_var_ - 1u) != lbool::l_undef) {
+    xor_var_ = 0u; // pinned at level 0 — retire, next query gets a fresh var
+  }
+  return r;
 }
 
 result aig_encoder::prove_constant(net::signal f, bool value,
@@ -93,6 +145,7 @@ result aig_encoder::prove_constant(net::signal f, bool value,
 {
   // f == value is a tautology iff f == !value is unsatisfiable.
   const lit lf = literal(f);
+  scope_query(std::span<const lit>{&lf, 1u}, no_fanin);
   const lit assumption = value ? ~lf : lf;
   return solver_.solve(std::span<const lit>{&assumption, 1u},
                        conflict_budget);
@@ -114,6 +167,7 @@ std::optional<std::vector<bool>> aig_encoder::find_assignment(
     net::signal f, bool value, int64_t conflict_budget)
 {
   const lit lf = literal(f);
+  scope_query(std::span<const lit>{&lf, 1u}, no_fanin);
   const lit assumption = value ? lf : ~lf;
   const result r =
       solver_.solve(std::span<const lit>{&assumption, 1u}, conflict_budget);

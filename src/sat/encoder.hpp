@@ -49,13 +49,29 @@ public:
   uint64_t num_encoded_nodes() const noexcept { return encoded_count_; }
 
 private:
-  lit xor_output(lit a, lit b);
+  /// Flags the encoded support closure of \p roots (plus \p extra, if
+  /// not ~0u) as the solver's decision scope, so a query searches only
+  /// its own cones instead of every variable encoded so far.  The
+  /// closure follows the fanin variables *as encoded* (`var_fanins_`),
+  /// which stays correct when later substitutions rewire the AIG.
+  void scope_query(std::span<const lit> roots, var extra);
 
   const net::aig_network& aig_;
   solver& solver_;
   std::vector<var> node_var_;     // node id → var + 1 (0 = not encoded)
   var const_var_;                 // variable fixed to false
+  /// Reusable XOR-miter variable (+1; 0 = none yet).  Its four defining
+  /// clauses are added per query and retracted right after, so thousands
+  /// of equivalence queries do not pile dead XOR cones into the solver.
+  /// Retired (re-allocated) if a query pins it at level 0.
+  var xor_var_ = 0;
   uint64_t encoded_count_ = 0;
+
+  /// var → its two antecedent vars at encode time (~0u = leaf).
+  std::vector<std::array<var, 2>> var_fanins_;
+  std::vector<uint32_t> scope_mark_;  // var → last scope epoch
+  uint32_t scope_epoch_ = 0;
+  std::vector<var> scope_vars_;       // scratch: current scope closure
 };
 
 } // namespace stps::sat

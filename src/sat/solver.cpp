@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 #include <stdexcept>
 
 namespace stps::sat {
@@ -34,11 +35,29 @@ solver::solver() = default;
 solver::~solver()
 {
   for (clause* c : clauses_) {
-    delete c;
+    clause::destroy(c);
   }
   for (clause* c : learnts_) {
-    delete c;
+    clause::destroy(c);
   }
+  for (clause* c : removables_) {
+    clause::destroy(c);
+  }
+}
+
+solver::clause* solver::clause::make(std::span<const lit> lits, bool learnt)
+{
+  void* mem = ::operator new(sizeof(clause) + lits.size() * sizeof(lit));
+  auto* c = new (mem) clause{};
+  c->size = static_cast<uint32_t>(lits.size());
+  c->learnt = learnt;
+  std::copy(lits.begin(), lits.end(), c->begin());
+  return c;
+}
+
+void solver::clause::destroy(clause* c)
+{
+  ::operator delete(c);
 }
 
 var solver::new_var()
@@ -53,13 +72,66 @@ var solver::new_var()
   seen_.push_back(false);
   watches_.emplace_back();
   watches_.emplace_back();
-  heap_insert(v);
+  // Under a decision restriction new variables start unlisted; the next
+  // set_decision_vars call scopes them in as needed.
+  decision_.push_back(restricted_ ? 0u : 1u);
+  if (!restricted_) {
+    heap_insert(v);
+  }
   return v;
+}
+
+void solver::set_decision_vars(std::span<const var> vars)
+{
+  assert(decision_level() == 0u);
+  if (!restricted_) {
+    std::fill(decision_.begin(), decision_.end(), 0u);
+    restricted_ = true;
+  } else {
+    for (const var v : decision_list_) {
+      decision_[v] = 0u;
+    }
+  }
+  for (const heap_entry& e : heap_) {
+    heap_pos_[e.v] = 0u;
+  }
+  heap_.clear();
+  decision_list_.assign(vars.begin(), vars.end());
+  for (const var v : vars) {
+    decision_[v] = 1u;
+    if (assigns_[v] == lbool::l_undef) {
+      heap_insert(v);
+    }
+  }
 }
 
 bool solver::add_clause(std::initializer_list<lit> lits)
 {
   return add_clause(std::span<const lit>{lits.begin(), lits.size()});
+}
+
+bool solver::simplify_clause(std::span<const lit> lits,
+                             std::vector<lit>& out)
+{
+  // Normalize: sort, dedupe, drop false literals, detect tautology.
+  std::vector<lit> c(lits.begin(), lits.end());
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  out.clear();
+  out.reserve(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i + 1u < c.size() && c[i + 1u] == ~c[i]) {
+      return false; // tautology
+    }
+    const lbool v = value(c[i]);
+    if (v == lbool::l_true) {
+      return false; // already satisfied at level 0
+    }
+    if (v == lbool::l_undef) {
+      out.push_back(c[i]);
+    }
+  }
+  return true;
 }
 
 bool solver::add_clause(std::span<const lit> lits)
@@ -70,23 +142,9 @@ bool solver::add_clause(std::span<const lit> lits)
   if (decision_level() != 0u) {
     throw std::logic_error{"add_clause: only at decision level 0"};
   }
-  // Normalize: sort, dedupe, drop false literals, detect tautology.
-  std::vector<lit> c(lits.begin(), lits.end());
-  std::sort(c.begin(), c.end());
-  c.erase(std::unique(c.begin(), c.end()), c.end());
   std::vector<lit> out;
-  out.reserve(c.size());
-  for (std::size_t i = 0; i < c.size(); ++i) {
-    if (i + 1u < c.size() && c[i + 1u] == ~c[i]) {
-      return true; // tautology
-    }
-    const lbool v = value(c[i]);
-    if (v == lbool::l_true) {
-      return true; // already satisfied at level 0
-    }
-    if (v == lbool::l_undef) {
-      out.push_back(c[i]);
-    }
+  if (!simplify_clause(lits, out)) {
+    return true;
   }
   if (out.empty()) {
     ok_ = false;
@@ -97,23 +155,106 @@ bool solver::add_clause(std::span<const lit> lits)
     ok_ = propagate() == nullptr;
     return ok_;
   }
-  auto* cl = new clause{};
-  cl->lits = std::move(out);
+  clause* cl = clause::make(out, false);
   clauses_.push_back(cl);
   attach(cl);
   return true;
 }
 
+solver::clause_handle solver::add_removable_clause(std::span<const lit> lits)
+{
+  if (!ok_) {
+    return nullptr;
+  }
+  if (decision_level() != 0u) {
+    throw std::logic_error{"add_removable_clause: only at decision level 0"};
+  }
+  std::vector<lit> out;
+  if (!simplify_clause(lits, out)) {
+    return nullptr;
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return nullptr;
+  }
+  if (out.size() == 1u) {
+    // Unit facts are permanent; the caller retires any auxiliary
+    // variable this pins (see aig_encoder::prove_equivalent).
+    enqueue(out[0], nullptr);
+    ok_ = propagate() == nullptr;
+    return nullptr;
+  }
+  clause* cl = clause::make(out, false);
+  removables_.push_back(cl);
+  attach(cl);
+  return cl;
+}
+
+void solver::unhook_reasons(clause* c)
+{
+  for (const lit l : *c) {
+    if (reason_[l.variable()] == c) {
+      reason_[l.variable()] = nullptr;
+    }
+  }
+}
+
+void solver::purge_learnts_with(var v)
+{
+  assert(decision_level() == 0u);
+  // Clauses mentioning v can only have been learnt since the last purge
+  // (earlier ones were purged then), i.e. during the last solve() — scan
+  // only that suffix unless reduce_db reshuffled the whole list.
+  std::size_t j = db_reduced_in_solve_ ? 0u : learnts_at_solve_;
+  for (std::size_t i = j; i < learnts_.size(); ++i) {
+    clause* c = learnts_[i];
+    bool mentions = false;
+    for (const lit l : *c) {
+      if (l.variable() == v) {
+        mentions = true;
+        break;
+      }
+    }
+    if (!mentions) {
+      learnts_[j++] = c;
+      continue;
+    }
+    unhook_reasons(c); // level-0 reasons are never consulted
+    detach(c);
+    clause::destroy(c);
+  }
+  learnts_.resize(j);
+}
+
+void solver::remove_clause(clause_handle h)
+{
+  if (h == nullptr) {
+    return;
+  }
+  assert(decision_level() == 0u);
+  auto* c = static_cast<clause*>(h);
+  // The clause may be the level-0 reason of its implied literal; reasons
+  // of level-0 facts are never consulted again, so just unhook the
+  // dangling pointer.
+  unhook_reasons(c);
+  detach(c);
+  const auto it = std::find(removables_.begin(), removables_.end(), c);
+  assert(it != removables_.end());
+  removables_.erase(it);
+  clause::destroy(c);
+}
+
 void solver::attach(clause* c)
 {
-  assert(c->lits.size() >= 2u);
-  watches_[(~c->lits[0]).x].push_back(watcher{c, c->lits[1]});
-  watches_[(~c->lits[1]).x].push_back(watcher{c, c->lits[0]});
+  assert(c->size >= 2u);
+  const uint32_t binary = c->size == 2u ? 1u : 0u;
+  watches_[(~(*c)[0]).x].push_back(watcher{c, (*c)[1], binary});
+  watches_[(~(*c)[1]).x].push_back(watcher{c, (*c)[0], binary});
 }
 
 void solver::detach(clause* c)
 {
-  for (const lit w : {c->lits[0], c->lits[1]}) {
+  for (const lit w : {(*c)[0], (*c)[1]}) {
     auto& list = watches_[(~w).x];
     const auto it =
         std::find_if(list.begin(), list.end(),
@@ -148,23 +289,39 @@ solver::clause* solver::propagate()
         ws[j++] = ws[i++];
         continue;
       }
+      if (w.binary) {
+        // A binary clause is fully described by the watcher: the blocker
+        // is the only other literal — no clause memory is touched until
+        // a conflict needs it.
+        ws[j++] = ws[i++];
+        if (value(w.blocker) == lbool::l_false) {
+          conflict = w.c;
+          qhead_ = trail_.size();
+          while (i < ws.size()) {
+            ws[j++] = ws[i++];
+          }
+        } else {
+          enqueue(w.blocker, w.c);
+        }
+        continue;
+      }
       clause& c = *w.c;
       const lit false_lit = ~p;
-      if (c.lits[0] == false_lit) {
-        std::swap(c.lits[0], c.lits[1]);
+      if (c[0] == false_lit) {
+        std::swap(c[0], c[1]);
       }
-      assert(c.lits[1] == false_lit);
+      assert(c[1] == false_lit);
       ++i;
-      const lit first = c.lits[0];
+      const lit first = c[0];
       if (first != w.blocker && value(first) == lbool::l_true) {
         ws[j++] = watcher{w.c, first};
         continue;
       }
       bool found = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != lbool::l_false) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[(~c.lits[1]).x].push_back(watcher{w.c, first});
+      for (std::size_t k = 2; k < c.size; ++k) {
+        if (value(c[k]) != lbool::l_false) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).x].push_back(watcher{w.c, first});
           found = true;
           break;
         }
@@ -205,7 +362,7 @@ void solver::analyze(clause* conflict, std::vector<lit>& learnt,
     if (c->learnt) {
       bump_clause(c);
     }
-    for (const lit q : c->lits) {
+    for (const lit q : *c) {
       if (q.x == p.x) {
         continue;
       }
@@ -269,8 +426,8 @@ bool solver::lit_redundant(lit l, uint32_t abstract_levels)
 {
   // A literal of the learnt clause is redundant if its reason-DAG closure
   // only reaches literals already in the clause (seen) or level-0 facts.
-  // Reason clauses keep their implied literal at index 0 while locked, so
-  // antecedents are lits[1..].
+  // The implied literal of a reason clause is identified by variable (the
+  // binary fast path does not normalize it to index 0).
   analyze_stack_.clear();
   analyze_stack_.push_back(l);
   const std::size_t clear_mark = analyze_clear_.size();
@@ -279,10 +436,10 @@ bool solver::lit_redundant(lit l, uint32_t abstract_levels)
     analyze_stack_.pop_back();
     const clause* c = reason_[p.variable()];
     assert(c != nullptr);
-    for (std::size_t k = 1; k < c->lits.size(); ++k) {
-      const lit q = c->lits[k];
+    for (std::size_t k = 0; k < c->size; ++k) {
+      const lit q = (*c)[k];
       const var v = q.variable();
-      if (seen_[v] || level_[v] == 0u) {
+      if (v == p.variable() || seen_[v] || level_[v] == 0u) {
         continue;
       }
       if (reason_[v] == nullptr ||
@@ -313,7 +470,7 @@ void solver::backtrack(uint32_t level)
     polarity_[v] = assigns_[v] == lbool::l_false;
     assigns_[v] = lbool::l_undef;
     reason_[v] = nullptr;
-    if (!heap_contains(v)) {
+    if (decision_[v] && !heap_contains(v)) {
       heap_insert(v);
     }
   }
@@ -342,10 +499,15 @@ void solver::bump_var(var v)
     for (double& a : activity_) {
       a *= 1e-100;
     }
+    for (heap_entry& e : heap_) {
+      e.act *= 1e-100;
+    }
     var_inc_ *= 1e-100;
   }
   if (heap_contains(v)) {
-    heap_up(heap_pos_[v] - 1u);
+    const uint32_t i = heap_pos_[v] - 1u;
+    heap_[i].act = activity_[v];
+    heap_up(i);
   }
 }
 
@@ -373,16 +535,16 @@ void solver::reduce_db()
               return a->activity < b->activity;
             });
   const auto locked = [&](const clause* c) {
-    return value(c->lits[0]) == lbool::l_true &&
-           reason_[c->lits[0].variable()] == c;
+    return value((*c)[0]) == lbool::l_true &&
+           reason_[(*c)[0].variable()] == c;
   };
   std::size_t j = 0;
   const std::size_t half = learnts_.size() / 2u;
   for (std::size_t i = 0; i < learnts_.size(); ++i) {
     clause* c = learnts_[i];
-    if (i < half && c->lits.size() > 2u && !locked(c)) {
+    if (i < half && c->size > 2u && !locked(c)) {
       detach(c);
-      delete c;
+      clause::destroy(c);
     } else {
       learnts_[j++] = c;
     }
@@ -395,6 +557,8 @@ result solver::solve(std::span<const lit> assumptions,
 {
   ++stats_.solve_calls;
   model_.clear();
+  learnts_at_solve_ = learnts_.size();
+  db_reduced_in_solve_ = false;
   if (!ok_) {
     return result::unsat;
   }
@@ -428,9 +592,7 @@ result solver::solve(std::span<const lit> assumptions,
       if (learnt.size() == 1u) {
         enqueue(learnt[0], nullptr);
       } else {
-        auto* c = new clause{};
-        c->learnt = true;
-        c->lits = learnt;
+        clause* c = clause::make(learnt, true);
         learnts_.push_back(c);
         ++stats_.learnt_clauses;
         attach(c);
@@ -453,6 +615,7 @@ result solver::solve(std::span<const lit> assumptions,
       }
       if (learnts_.size() >= max_learnts + trail_.size()) {
         reduce_db();
+        db_reduced_in_solve_ = true;
         max_learnts = max_learnts * 11u / 10u;
       }
 
@@ -500,7 +663,7 @@ void solver::heap_insert(var v)
   if (heap_contains(v)) {
     return;
   }
-  heap_.push_back(v);
+  heap_.push_back(heap_entry{activity_[v], v});
   heap_pos_[v] = static_cast<uint32_t>(heap_.size());
   heap_up(static_cast<uint32_t>(heap_.size() - 1u));
 }
@@ -512,12 +675,12 @@ bool solver::heap_contains(var v) const
 
 var solver::heap_pop()
 {
-  const var top = heap_[0];
+  const var top = heap_[0].v;
   heap_pos_[top] = 0u;
   heap_[0] = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) {
-    heap_pos_[heap_[0]] = 1u;
+    heap_pos_[heap_[0].v] = 1u;
     heap_down(0u);
   }
   return top;
@@ -525,42 +688,41 @@ var solver::heap_pop()
 
 void solver::heap_up(uint32_t i)
 {
-  const var v = heap_[i];
+  const heap_entry e = heap_[i];
   while (i != 0u) {
     const uint32_t parent = (i - 1u) / 2u;
-    if (activity_[heap_[parent]] >= activity_[v]) {
+    if (heap_[parent].act >= e.act) {
       break;
     }
     heap_[i] = heap_[parent];
-    heap_pos_[heap_[i]] = i + 1u;
+    heap_pos_[heap_[i].v] = i + 1u;
     i = parent;
   }
-  heap_[i] = v;
-  heap_pos_[v] = i + 1u;
+  heap_[i] = e;
+  heap_pos_[e.v] = i + 1u;
 }
 
 void solver::heap_down(uint32_t i)
 {
-  const var v = heap_[i];
+  const heap_entry e = heap_[i];
   const uint32_t size = static_cast<uint32_t>(heap_.size());
   for (;;) {
     uint32_t child = 2u * i + 1u;
     if (child >= size) {
       break;
     }
-    if (child + 1u < size &&
-        activity_[heap_[child + 1u]] > activity_[heap_[child]]) {
+    if (child + 1u < size && heap_[child + 1u].act > heap_[child].act) {
       ++child;
     }
-    if (activity_[heap_[child]] <= activity_[v]) {
+    if (heap_[child].act <= e.act) {
       break;
     }
     heap_[i] = heap_[child];
-    heap_pos_[heap_[i]] = i + 1u;
+    heap_pos_[heap_[i].v] = i + 1u;
     i = child;
   }
-  heap_[i] = v;
-  heap_pos_[v] = i + 1u;
+  heap_[i] = e;
+  heap_pos_[e.v] = i + 1u;
 }
 
 } // namespace stps::sat

@@ -47,6 +47,49 @@ public:
   bool add_clause(std::span<const lit> lits);
   bool add_clause(std::initializer_list<lit> lits);
 
+  /// Opaque handle to a retractable clause (null = nothing to retract).
+  using clause_handle = void*;
+
+  /// Adds a clause that can later be retracted with `remove_clause` —
+  /// used for per-query auxiliary constraints (e.g. the XOR output of an
+  /// equivalence query), so they do not pile up and slow every later
+  /// propagation.  Must be called at decision level 0.  Returns null when
+  /// the clause simplified away (satisfied, tautological, or unit — unit
+  /// facts are permanent).
+  clause_handle add_removable_clause(std::span<const lit> lits);
+
+  /// Retracts a clause previously added with `add_removable_clause`.
+  /// Must be called at decision level 0.
+  void remove_clause(clause_handle h);
+
+  /// Deletes learnt clauses mentioning \p v.  Required after retracting
+  /// auxiliary definitions of v: clauses *containing* v may depend on
+  /// the retracted definition, while v-free learnt clauses are still
+  /// implied (definitional extensions are conservative).  Must be called
+  /// at decision level 0.
+  ///
+  /// Precondition: only the clauses learnt during the most recent
+  /// solve() are scanned (unless reduce_db reshuffled the list), so any
+  /// earlier learnt clause mentioning v must already have been purged —
+  /// i.e. call this after *every* solve issued while v's auxiliary
+  /// definition was attached, as aig_encoder::prove_equivalent does.
+  void purge_learnts_with(var v);
+
+  /// Level-0 value of a variable (l_undef if not permanently fixed).
+  /// Only meaningful outside of solve(), when the solver sits at level 0.
+  lbool fixed_value(var v) const noexcept { return assigns_[v]; }
+
+  /// Restricts branching to \p vars (plus assumptions) and rebuilds the
+  /// decision heap accordingly; stays in effect until the next call.  A
+  /// model then assigns these variables and whatever propagation reaches.
+  /// Sound whenever every unlisted variable is functionally defined from
+  /// listed ones or free (circuit-cone CNF): a conflict-free,
+  /// propagation-closed assignment of the listed variables always
+  /// extends to a total model.  The caller must list the full *encoded*
+  /// support closure of the query, or partial models may not extend.
+  /// Must be called at decision level 0.
+  void set_decision_vars(std::span<const var> vars);
+
   /// Solves under \p assumptions.  \p conflict_budget < 0 means no budget.
   result solve(std::span<const lit> assumptions = {},
                int64_t conflict_budget = -1);
@@ -60,18 +103,37 @@ public:
   bool in_conflict() const noexcept { return !ok_; }
 
 private:
+  /// Clause header with the literals stored inline, immediately after the
+  /// header, in one allocation — the hot propagation loop reads literals
+  /// without a second pointer chase through a vector.
   struct clause
   {
     float activity = 0.0f;
-    uint32_t lbd = 0;
+    uint32_t size = 0;
     bool learnt = false;
-    std::vector<lit> lits;
+
+    lit* begin() noexcept { return reinterpret_cast<lit*>(this + 1); }
+    const lit* begin() const noexcept
+    {
+      return reinterpret_cast<const lit*>(this + 1);
+    }
+    lit* end() noexcept { return begin() + size; }
+    const lit* end() const noexcept { return begin() + size; }
+    lit& operator[](std::size_t i) noexcept { return begin()[i]; }
+    lit operator[](std::size_t i) const noexcept { return begin()[i]; }
+
+    static clause* make(std::span<const lit> lits, bool learnt);
+    static void destroy(clause* c);
   };
 
   struct watcher
   {
     clause* c = nullptr;
     lit blocker;
+    /// Binary-clause flag: the blocker is the only other literal, so
+    /// propagation can decide keep/enqueue/conflict from the watcher
+    /// alone (fits in the struct's existing padding).
+    uint32_t binary = 0;
   };
 
   lbool value(lit l) const noexcept
@@ -85,6 +147,8 @@ private:
 
   void attach(clause* c);
   void detach(clause* c);
+  /// Nulls every level-0 reason pointer into \p c before it is deleted.
+  void unhook_reasons(clause* c);
   void enqueue(lit l, clause* reason);
   clause* propagate();
   void analyze(clause* conflict, std::vector<lit>& learnt, uint32_t& bt_level);
@@ -101,9 +165,20 @@ private:
   void heap_down(uint32_t i);
   bool heap_contains(var v) const;
 
+  /// Shared normalization for add_clause / add_removable_clause: sorts,
+  /// dedupes, drops false literals.  Returns false when the clause needs
+  /// no representation (tautology or already satisfied).
+  bool simplify_clause(std::span<const lit> lits, std::vector<lit>& out);
+
   bool ok_ = true;
+  bool restricted_ = false;       // set_decision_vars has been used
+  std::vector<uint8_t> decision_; // var → may be picked by pick_branch
+  std::vector<var> decision_list_; // vars currently flagged (restricted)
   std::vector<clause*> clauses_;
   std::vector<clause*> learnts_;
+  std::vector<clause*> removables_;
+  std::size_t learnts_at_solve_ = 0; // learnts_.size() when solve() began
+  bool db_reduced_in_solve_ = false; // reduce_db ran since solve() began
   std::vector<std::vector<watcher>> watches_; // indexed by lit.x
   std::vector<lbool> assigns_;
   std::vector<bool> polarity_;  // saved phases (true = last was negative)
@@ -113,10 +188,18 @@ private:
   std::vector<uint32_t> trail_lim_;
   std::size_t qhead_ = 0;
 
-  // VSIDS
+  // VSIDS.  Heap entries carry a copy of the variable's activity so the
+  // sift comparisons stay in the heap array instead of random-accessing
+  // activity_; the copies are kept exact (same doubles), so decisions
+  // are identical to the plain-indirection heap.
+  struct heap_entry
+  {
+    double act = 0.0;
+    var v = 0;
+  };
   std::vector<double> activity_;
   double var_inc_ = 1.0;
-  std::vector<uint32_t> heap_;      // binary max-heap of vars
+  std::vector<heap_entry> heap_;    // binary max-heap of vars
   std::vector<uint32_t> heap_pos_;  // var → heap index + 1 (0 = absent)
   float clause_inc_ = 1.0f;
 

@@ -6,57 +6,34 @@
 
 namespace stps::sim {
 
-namespace {
-
-/// Re-establishes the canonical-tail invariant on every signature row.
-void mask_tails(signature_table& sig, uint64_t num_patterns,
-                std::size_t words)
-{
-  if (words == 0u) {
-    return;
-  }
-  const uint64_t mask = tail_mask(num_patterns);
-  for (auto& row : sig) {
-    if (row.size() == words) {
-      row.back() &= mask;
-    }
-  }
-}
-
-} // namespace
-
-
-signature_table simulate_aig(const net::aig_network& aig,
+signature_store simulate_aig(const net::aig_network& aig,
                              const pattern_set& patterns)
 {
   if (patterns.num_inputs() != aig.num_pis()) {
     throw std::invalid_argument{"simulate_aig: input count mismatch"};
   }
   const std::size_t words = patterns.num_words();
-  signature_table sig(aig.size());
-  sig[0].assign(words, 0u); // constant zero
-  aig.foreach_pi([&](net::node n) {
-    const auto row = patterns.input_bits(n - 1u);
-    sig[n].assign(row.begin(), row.end());
-  });
+  signature_store sig(aig.size(), words);
+  // Row 0 (constant zero) stays zero.
+  aig.foreach_pi(
+      [&](net::node n) { sig.assign_row(n, patterns.input_bits(n - 1u)); });
   aig.foreach_gate([&](net::node n) {
     const net::signal a = aig.fanin0(n);
     const net::signal b = aig.fanin1(n);
-    const auto& sa = sig[a.get_node()];
-    const auto& sb = sig[b.get_node()];
-    auto& out = sig[n];
-    out.resize(words);
+    const uint64_t* sa = sig.row(a.get_node()).data();
+    const uint64_t* sb = sig.row(b.get_node()).data();
+    uint64_t* out = sig.row(n).data();
     const uint64_t ca = a.is_complemented() ? ~uint64_t{0} : 0u;
     const uint64_t cb = b.is_complemented() ? ~uint64_t{0} : 0u;
     for (std::size_t w = 0; w < words; ++w) {
       out[w] = (sa[w] ^ ca) & (sb[w] ^ cb);
     }
   });
-  mask_tails(sig, patterns.num_patterns(), words);
+  sig.mask_tail(patterns.num_patterns());
   return sig;
 }
 
-signature_table simulate_klut_bitwise(const net::klut_network& klut,
+signature_store simulate_klut_bitwise(const net::klut_network& klut,
                                       const pattern_set& patterns)
 {
   if (patterns.num_inputs() != klut.num_pis()) {
@@ -64,25 +41,19 @@ signature_table simulate_klut_bitwise(const net::klut_network& klut,
   }
   const std::size_t words = patterns.num_words();
   const uint64_t n_pat = patterns.num_patterns();
-  signature_table sig(klut.size());
-  sig[0].assign(words, 0u);
-  sig[1].assign(words, ~uint64_t{0});
-  if (words != 0u && (n_pat % 64u) != 0u) {
-    sig[1].back() = (uint64_t{1} << (n_pat % 64u)) - 1u;
-  }
+  signature_store sig(klut.size(), words);
+  sig.fill_row(1u, ~uint64_t{0}); // constant one
   klut.foreach_pi([&](net::klut_network::node n) {
-    const auto row = patterns.input_bits(n - 2u);
-    sig[n].assign(row.begin(), row.end());
+    sig.assign_row(n, patterns.input_bits(n - 2u));
   });
   std::vector<const uint64_t*> ins;
   klut.foreach_gate([&](net::klut_network::node n) {
     const auto& fis = klut.fanins(n);
     const uint64_t* tw = klut.table(n).words().data();
-    auto& out = sig[n];
-    out.assign(words, 0u);
+    uint64_t* out = sig.row(n).data();
     ins.resize(fis.size());
     for (std::size_t i = 0; i < fis.size(); ++i) {
-      ins[i] = sig[fis[i]].data();
+      ins[i] = sig.row(fis[i]).data();
     }
     // The conventional path: per pattern, extract each input bit,
     // assemble the LUT index, look up one bit.
@@ -97,48 +68,39 @@ signature_table simulate_klut_bitwise(const net::klut_network& klut,
       out[word] |= ((tw[index >> 6u] >> (index & 63u)) & 1u) << bit;
     }
   });
+  sig.mask_tail(n_pat);
   return sig;
 }
 
 void resimulate_aig_last_word(const net::aig_network& aig,
                               const pattern_set& patterns,
-                              signature_table& signatures)
+                              signature_store& signatures)
 {
   const std::size_t words = patterns.num_words();
   if (words == 0u) {
     return;
   }
-  const std::size_t last = words - 1u;
   if (signatures.size() < aig.size()) {
-    signatures.resize(aig.size());
+    throw std::invalid_argument{"resimulate_aig_last_word: store too small"};
   }
-  auto grow = [&](std::vector<uint64_t>& row) {
-    if (row.size() < words) {
-      row.resize(words, 0u);
-    }
-  };
-  grow(signatures[0]);
-  signatures[0][last] = 0u;
+  while (signatures.num_words() < words) {
+    signatures.append_word();
+  }
+  const std::size_t last = words - 1u;
+  signatures.word(0u, last) = 0u;
   aig.foreach_pi([&](net::node n) {
-    grow(signatures[n]);
-    signatures[n][last] = patterns.input_bits(n - 1u)[last];
+    signatures.word(n, last) = patterns.input_bits(n - 1u)[last];
   });
   aig.foreach_gate([&](net::node n) {
     const net::signal a = aig.fanin0(n);
     const net::signal b = aig.fanin1(n);
-    grow(signatures[n]);
-    const uint64_t va = signatures[a.get_node()][last] ^
+    const uint64_t va = signatures.word(a.get_node(), last) ^
                         (a.is_complemented() ? ~uint64_t{0} : 0u);
-    const uint64_t vb = signatures[b.get_node()][last] ^
+    const uint64_t vb = signatures.word(b.get_node(), last) ^
                         (b.is_complemented() ? ~uint64_t{0} : 0u);
-    signatures[n][last] = va & vb;
+    signatures.word(n, last) = va & vb;
   });
-  const uint64_t mask = tail_mask(patterns.num_patterns());
-  for (auto& row : signatures) {
-    if (row.size() == words) {
-      row.back() &= mask;
-    }
-  }
+  signatures.mask_tail(patterns.num_patterns());
 }
 
 bool evaluate_aig_node(const net::aig_network& aig, net::node n,

@@ -17,24 +17,25 @@
 #include "network/aig.hpp"
 #include "network/klut.hpp"
 #include "sim/patterns.hpp"
+#include "sim/signature_store.hpp"
 
 namespace stps::sim {
 
 /// Word-parallel AIG simulation; `result[node]` has pattern words for all
 /// live nodes (dead nodes keep zero words).
-signature_table simulate_aig(const net::aig_network& aig,
+signature_store simulate_aig(const net::aig_network& aig,
                              const pattern_set& patterns);
 
 /// Conventional per-bit k-LUT simulation (baseline of Table I, column TL).
-signature_table simulate_klut_bitwise(const net::klut_network& klut,
+signature_store simulate_klut_bitwise(const net::klut_network& klut,
                                       const pattern_set& patterns);
 
 /// Recomputes only the last signature word after patterns were appended;
-/// signatures for earlier words must already be valid.  Grows each node's
-/// signature if the pattern set acquired a new word.
+/// signatures for earlier words must already be valid.  Grows the store
+/// by a word if the pattern set acquired a new one.
 void resimulate_aig_last_word(const net::aig_network& aig,
                               const pattern_set& patterns,
-                              signature_table& signatures);
+                              signature_store& signatures);
 
 /// Evaluates a single node under a single full input assignment (slow
 /// reference path used by tests and the CEC debug checker).

@@ -5,7 +5,8 @@
 /// (§II-A); a pattern set packs many patterns word-parallel, 64 per
 /// machine word, pattern i at bit position i of each input's bit string.
 /// A *signature* is the ordered set of values a node produces under the
-/// pattern set; exhaustive sets make signatures truth tables.
+/// pattern set (see signature_store.hpp); exhaustive sets make
+/// signatures truth tables.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +15,10 @@
 
 namespace stps::sim {
 
-/// Word-packed pattern set for a fixed number of inputs.
+/// Word-packed pattern set for a fixed number of inputs.  Bit strings of
+/// all inputs live in one flat input-major buffer with grow-by-word
+/// headroom, so appending counter-example patterns (§I) never reallocates
+/// per input.
 class pattern_set
 {
 public:
@@ -42,28 +46,32 @@ public:
 
   bool bit(uint32_t input, uint64_t pattern) const;
 
+  /// Pre-allocates word capacity for \p total_patterns patterns.
+  void reserve_patterns(uint64_t total_patterns);
+
   /// Appends one pattern (e.g. a SAT counter-example, §I).
   void add_pattern(const std::vector<bool>& assignment);
 
+  /// Bulk-appends patterns with a single capacity grow (used when
+  /// counter-examples are batched before re-simulation).
+  void add_patterns(std::span<const std::vector<bool>> assignments);
+
 private:
+  uint64_t* row_data(uint32_t input) noexcept
+  {
+    return bits_.data() + static_cast<std::size_t>(input) * stride_;
+  }
+  const uint64_t* row_data(uint32_t input) const noexcept
+  {
+    return bits_.data() + static_cast<std::size_t>(input) * stride_;
+  }
+  /// Grows the per-input stride to at least \p words (geometric).
+  void grow_stride(std::size_t words);
+
   uint32_t num_inputs_ = 0;
   uint64_t num_patterns_ = 0;
-  std::vector<std::vector<uint64_t>> bits_; // [input][word]
+  std::size_t stride_ = 0;            // words allocated per input
+  std::vector<uint64_t> bits_;        // flat [input-major] bit strings
 };
-
-/// Per-node signatures produced by a simulator run: `sig[node]` has one
-/// word per 64 patterns, aligned with the pattern set.  Simulators
-/// guarantee the *canonical tail* invariant: bits at positions at or
-/// beyond `num_patterns` in the final word are zero, so whole-word
-/// signature comparison is meaningful.
-using signature_table = std::vector<std::vector<uint64_t>>;
-
-/// Mask selecting the valid bits of the final signature word.
-constexpr uint64_t tail_mask(uint64_t num_patterns) noexcept
-{
-  return (num_patterns % 64u) == 0u
-             ? ~uint64_t{0}
-             : (uint64_t{1} << (num_patterns % 64u)) - 1u;
-}
 
 } // namespace stps::sim

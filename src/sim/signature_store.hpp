@@ -1,0 +1,137 @@
+/// \file signature_store.hpp
+/// \brief Flat node-major arena for simulation signatures.
+///
+/// A *signature* is the ordered set of values a node produces under a
+/// pattern set, one word per 64 patterns.  The store keeps every node's
+/// words in one contiguous buffer at a fixed stride, so a whole
+/// simulation run touches memory linearly instead of chasing one heap
+/// allocation per node, and appending a counter-example word is one
+/// amortized grow instead of `size()` vector reallocations.
+///
+/// Layout: `data_[n * stride_ + w]` is word `w` of node `n`, with
+/// `stride_ >= num_words()` providing grow-by-word headroom.  Words at or
+/// beyond `num_words()` inside the stride are always zero.
+///
+/// Simulators guarantee the *canonical tail* invariant — bits at
+/// positions at or beyond `num_patterns` in the final word are zero, so
+/// whole-word signature comparison is meaningful — by calling
+/// `mask_tail`, the single place the invariant is enforced.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stps::sim {
+
+/// Mask selecting the valid bits of the final signature word.
+constexpr uint64_t tail_mask(uint64_t num_patterns) noexcept
+{
+  return (num_patterns % 64u) == 0u
+             ? ~uint64_t{0}
+             : (uint64_t{1} << (num_patterns % 64u)) - 1u;
+}
+
+class signature_store
+{
+public:
+  /// Read-only view of one node's words; comparable against other rows
+  /// and against plain word vectors, and indexable per word.
+  class row_view
+  {
+  public:
+    row_view() = default;
+    row_view(const uint64_t* words, std::size_t count) noexcept
+        : words_{words}, count_{count}
+    {
+    }
+
+    const uint64_t* begin() const noexcept { return words_; }
+    const uint64_t* end() const noexcept { return words_ + count_; }
+    const uint64_t* data() const noexcept { return words_; }
+    std::size_t size() const noexcept { return count_; }
+    bool empty() const noexcept { return count_ == 0u; }
+    uint64_t operator[](std::size_t w) const noexcept { return words_[w]; }
+    operator std::span<const uint64_t>() const noexcept
+    {
+      return {words_, count_};
+    }
+
+    friend bool operator==(row_view a, row_view b) noexcept
+    {
+      if (a.count_ != b.count_) {
+        return false;
+      }
+      for (std::size_t w = 0; w < a.count_; ++w) {
+        if (a.words_[w] != b.words_[w]) {
+          return false;
+        }
+      }
+      return true;
+    }
+    friend bool operator==(row_view a, const std::vector<uint64_t>& b)
+    {
+      return a == row_view{b.data(), b.size()};
+    }
+
+  private:
+    const uint64_t* words_ = nullptr;
+    std::size_t count_ = 0;
+  };
+
+  signature_store() = default;
+  /// Zero-initialized store of \p num_nodes rows × \p num_words words.
+  signature_store(std::size_t num_nodes, std::size_t num_words)
+  {
+    reset(num_nodes, num_words);
+  }
+
+  /// Re-dimensions to \p num_nodes × \p num_words, all words zero.
+  void reset(std::size_t num_nodes, std::size_t num_words);
+
+  std::size_t size() const noexcept { return num_nodes_; }
+  std::size_t num_words() const noexcept { return num_words_; }
+
+  row_view operator[](std::size_t n) const noexcept
+  {
+    return {data_.data() + n * stride_, num_words_};
+  }
+  std::span<uint64_t> row(std::size_t n) noexcept
+  {
+    return {data_.data() + n * stride_, num_words_};
+  }
+  std::span<const uint64_t> row(std::size_t n) const noexcept
+  {
+    return {data_.data() + n * stride_, num_words_};
+  }
+
+  uint64_t word(std::size_t n, std::size_t w) const noexcept
+  {
+    return data_[n * stride_ + w];
+  }
+  uint64_t& word(std::size_t n, std::size_t w) noexcept
+  {
+    return data_[n * stride_ + w];
+  }
+
+  /// Copies \p values into row \p n (must have exactly num_words words).
+  void assign_row(std::size_t n, std::span<const uint64_t> values);
+  /// Sets every word of row \p n to \p value.
+  void fill_row(std::size_t n, uint64_t value);
+
+  /// Appends one zeroed word to every row (for counter-example patterns
+  /// spilling into a fresh word).  Amortized O(size) via stride headroom.
+  void append_word();
+
+  /// Re-establishes the canonical-tail invariant: bits at or beyond
+  /// \p num_patterns in the final word are cleared on every row.
+  void mask_tail(uint64_t num_patterns);
+
+private:
+  std::vector<uint64_t> data_;
+  std::size_t num_nodes_ = 0;
+  std::size_t num_words_ = 0;
+  std::size_t stride_ = 0;
+};
+
+} // namespace stps::sim

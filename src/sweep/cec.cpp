@@ -69,9 +69,9 @@ cec_result check_equivalence(const net::aig_network& a,
   // difference; outputs never seen at 1 still need SAT.
   const sim::pattern_set patterns = sim::pattern_set::random(
       miter.num_pis(), params.sim_patterns, params.seed);
-  sim::signature_table sig = sim::simulate_aig(miter, patterns);
+  const sim::signature_store sig = sim::simulate_aig(miter, patterns);
   const auto first_one = [&](net::signal x) -> int64_t {
-    const auto& row = sig[x.get_node()];
+    const auto row = sig[x.get_node()];
     const uint64_t flip = x.is_complemented() ? ~uint64_t{0} : 0u;
     for (std::size_t w = 0; w < row.size(); ++w) {
       uint64_t word = row[w] ^ flip;

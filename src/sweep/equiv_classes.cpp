@@ -10,7 +10,7 @@ namespace {
 
 /// FNV-1a over a signature, normalized by phase; the final word is
 /// restricted to its valid bits so zero padding is phase-neutral.
-uint64_t signature_key(const std::vector<uint64_t>& sig, bool phase,
+uint64_t signature_key(std::span<const uint64_t> sig, bool phase,
                        uint64_t last_word_mask)
 {
   const uint64_t flip = phase ? ~uint64_t{0} : 0u;
@@ -27,13 +27,16 @@ uint64_t signature_key(const std::vector<uint64_t>& sig, bool phase,
 } // namespace
 
 void equiv_classes::build(const net::aig_network& aig,
-                          const sim::signature_table& sig,
+                          const sim::signature_store& sig,
                           uint64_t last_word_mask)
 {
   classes_.clear();
   live_classes_ = 0;
   class_id_.assign(aig.size(), no_class);
   phase_.assign(aig.size(), false);
+  if (sig.num_words() == 0u) {
+    return; // no simulation information, no candidates
+  }
 
   // Group by (hash of normalized signature); exact-equality verified by
   // comparing against the bucket representative to be hash-collision safe.
@@ -41,11 +44,8 @@ void equiv_classes::build(const net::aig_network& aig,
   const auto equal_normalized = [&](net::node a, net::node b) {
     const uint64_t flip =
         (phase_[a] != phase_[b]) ? ~uint64_t{0} : uint64_t{0};
-    const auto& sa = sig[a];
-    const auto& sb = sig[b];
-    if (sa.size() != sb.size()) {
-      return false;
-    }
+    const auto sa = sig.row(a);
+    const auto sb = sig.row(b);
     for (std::size_t i = 0; i < sa.size(); ++i) {
       const uint64_t mask =
           i + 1u == sa.size() ? last_word_mask : ~uint64_t{0};
@@ -58,11 +58,8 @@ void equiv_classes::build(const net::aig_network& aig,
 
   std::vector<std::vector<net::node>> groups;
   const auto insert_node = [&](net::node n) {
-    if (sig[n].empty()) {
-      return;
-    }
-    phase_[n] = sig[n][0] & 1u;
-    const uint64_t key = signature_key(sig[n], phase_[n], last_word_mask);
+    phase_[n] = sig.word(n, 0u) & 1u;
+    const uint64_t key = signature_key(sig.row(n), phase_[n], last_word_mask);
     auto& bucket = buckets[key];
     for (const uint32_t gi : bucket) {
       if (equal_normalized(groups[gi].front(), n)) {
@@ -96,48 +93,58 @@ uint32_t equiv_classes::new_class(std::vector<net::node> nodes)
   return id;
 }
 
-std::size_t equiv_classes::refine_with_word(const sim::signature_table& sig,
+std::size_t equiv_classes::refine_with_word(const sim::signature_store& sig,
                                             std::size_t word,
                                             uint64_t word_mask)
 {
   std::size_t created = 0;
   const std::size_t existing = classes_.size();
   for (uint32_t c = 0; c < existing; ++c) {
-    auto& members = classes_[c];
-    if (members.size() < 2u) {
-      continue;
-    }
-    // Group members by their normalized word value.
-    std::unordered_map<uint64_t, std::vector<net::node>> parts;
-    for (const net::node n : members) {
-      const uint64_t w = word < sig[n].size() ? sig[n][word] : 0u;
-      parts[(w ^ (phase_[n] ? ~uint64_t{0} : 0u)) & word_mask].push_back(n);
-    }
-    if (parts.size() == 1u) {
-      continue;
-    }
-    // The group containing the first (lowest-id) member keeps the id.
-    const net::node keep = members.front();
-    std::vector<net::node> kept;
-    for (auto& [key, part] : parts) {
-      std::sort(part.begin(), part.end());
-      if (part.front() == keep) {
-        kept = std::move(part);
-      } else {
-        ++created;
-        new_class(std::move(part));
-      }
-    }
-    classes_[c] = std::move(kept);
-    dissolve_if_singleton(c);
-  }
-  // Newly created classes may themselves be singletons (cannot happen —
-  // groups of one are still classes here; dissolve them).
-  for (uint32_t c = static_cast<uint32_t>(existing);
-       c < classes_.size(); ++c) {
-    dissolve_if_singleton(c);
+    created += refine_class_with_word(c, sig, word, word_mask);
   }
   return created;
+}
+
+std::size_t equiv_classes::refine_class_with_word(
+    uint32_t c, const sim::signature_store& sig, std::size_t word,
+    uint64_t word_mask, std::vector<uint32_t>* created_ids)
+{
+  auto& members = classes_.at(c);
+  if (members.size() < 2u) {
+    return 0;
+  }
+  // Group members by their normalized word value.
+  std::unordered_map<uint64_t, std::vector<net::node>> parts;
+  for (const net::node n : members) {
+    const uint64_t w = word < sig.num_words() ? sig.word(n, word) : 0u;
+    parts[(w ^ (phase_[n] ? ~uint64_t{0} : 0u)) & word_mask].push_back(n);
+  }
+  if (parts.size() == 1u) {
+    return 0;
+  }
+  // The group containing the first (lowest-id) member keeps the id; note
+  // `members` may dangle once new_class grows classes_, so copy what we
+  // need first.
+  const net::node keep = members.front();
+  std::vector<net::node> kept;
+  std::vector<uint32_t> fresh;
+  for (auto& [key, part] : parts) {
+    std::sort(part.begin(), part.end());
+    if (part.front() == keep) {
+      kept = std::move(part);
+    } else {
+      fresh.push_back(new_class(std::move(part)));
+    }
+  }
+  classes_[c] = std::move(kept);
+  dissolve_if_singleton(c);
+  for (const uint32_t f : fresh) {
+    dissolve_if_singleton(f);
+  }
+  if (created_ids != nullptr) {
+    created_ids->insert(created_ids->end(), fresh.begin(), fresh.end());
+  }
+  return fresh.size();
 }
 
 std::size_t equiv_classes::split_by_keys(uint32_t c,

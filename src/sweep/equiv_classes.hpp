@@ -10,10 +10,13 @@
 /// all-constant class (§IV, constant propagation) just another class
 /// whose representative is node 0.  Classes only ever split: either by
 /// new simulation words (counter-examples) or by exact resolution.
+/// Class ids are never reused, so a split class keeps its id for the
+/// group containing its lowest member and fresh ids for the rest.
 #pragma once
 
 #include "network/aig.hpp"
 #include "sim/patterns.hpp"
+#include "sim/signature_store.hpp"
 
 #include <cstdint>
 #include <vector>
@@ -29,15 +32,28 @@ public:
   /// signature; singleton classes are dropped.  \p last_word_mask selects
   /// the valid bits of the final signature word (sim::tail_mask), so the
   /// zero padding cannot break complement normalization.
-  void build(const net::aig_network& aig, const sim::signature_table& sig,
+  void build(const net::aig_network& aig, const sim::signature_store& sig,
              uint64_t last_word_mask = ~uint64_t{0});
 
   /// Splits every class using signature word \p word only (the word the
   /// newest counter-examples landed in), masked by \p word_mask.
   /// Returns the number of new classes created.
-  std::size_t refine_with_word(const sim::signature_table& sig,
+  std::size_t refine_with_word(const sim::signature_store& sig,
                                std::size_t word,
                                uint64_t word_mask = ~uint64_t{0});
+
+  /// Splits a single class \p c by signature word \p word (masked by
+  /// \p word_mask), leaving every other class untouched — the lazy path
+  /// of batched counter-example refinement.  Ids of classes split off
+  /// are appended to \p created_ids when non-null (including ids whose
+  /// group immediately dissolved to a singleton).  Returns the number of
+  /// new classes created.
+  std::size_t refine_class_with_word(uint32_t c,
+                                     const sim::signature_store& sig,
+                                     std::size_t word,
+                                     uint64_t word_mask = ~uint64_t{0},
+                                     std::vector<uint32_t>* created_ids
+                                     = nullptr);
 
   /// Splits class \p c by caller-provided exact keys (e.g. window truth
   /// tables): members with equal keys stay together.  Returns the number

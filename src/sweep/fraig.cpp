@@ -53,7 +53,7 @@ sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
                                         params.seed);
   }
   auto t_sim = clock_type::now();
-  sim::signature_table sig = sim::simulate_aig(aig, patterns);
+  sim::signature_store sig = sim::simulate_aig(aig, patterns);
   equiv_classes classes;
   classes.build(aig, sig, sim::tail_mask(patterns.num_patterns()));
   stats.sim_seconds += seconds_since(t_sim);

@@ -17,7 +17,7 @@ double seconds_since(clock_type::time_point start)
 }
 
 /// Number of ones in a signature, respecting the pattern tail.
-uint64_t ones_count(const std::vector<uint64_t>& sig)
+uint64_t ones_count(std::span<const uint64_t> sig)
 {
   uint64_t n = 0;
   for (const uint64_t w : sig) {
@@ -37,19 +37,21 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
       aig.num_pis(), config.base_patterns, config.seed);
 
   std::vector<bool> proven(aig.size(), false);
+  // Witnesses collected per round and bulk-appended (one capacity grow).
+  std::vector<std::vector<bool>> round_witnesses;
 
   // ---- Round 1: eliminate false constant candidates. -------------------
   for (uint32_t iter = 0; iter < config.round1_iterations; ++iter) {
     auto t_sim = clock_type::now();
-    const sim::signature_table sig = sim::simulate_aig(aig, result.patterns);
+    const sim::signature_store sig = sim::simulate_aig(aig, result.patterns);
     result.sim_seconds += seconds_since(t_sim);
     const uint64_t total = result.patterns.num_patterns();
-    bool progress = false;
+    round_witnesses.clear();
     aig.foreach_gate([&](net::node n) {
       if (proven[n]) {
         return;
       }
-      const uint64_t ones = ones_count(sig[n]);
+      const uint64_t ones = ones_count(sig.row(n));
       if (ones != 0u && ones != total) {
         return; // signature already toggles
       }
@@ -63,30 +65,31 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
       result.sat_seconds += seconds_since(t_sat);
       if (r == sat::result::sat) {
         ++result.satisfiable_calls;
-        result.patterns.add_pattern(encoder.model_inputs());
+        round_witnesses.push_back(encoder.model_inputs());
         ++result.patterns_added;
-        progress = true;
       } else if (r == sat::result::unsat) {
         proven[n] = true;
         result.proven_constants.emplace_back(n, looks_constant);
       }
     });
-    if (!progress) {
+    if (round_witnesses.empty()) {
       break;
     }
+    result.patterns.add_patterns(round_witnesses);
   }
 
   // ---- Round 2: break up near-constant signatures. ----------------------
   auto t_sim = clock_type::now();
-  const sim::signature_table sig = sim::simulate_aig(aig, result.patterns);
+  const sim::signature_store sig = sim::simulate_aig(aig, result.patterns);
   result.sim_seconds += seconds_since(t_sim);
   const uint64_t total = result.patterns.num_patterns();
   std::size_t queries = 0;
+  round_witnesses.clear();
   aig.foreach_gate([&](net::node n) {
     if (proven[n] || queries >= config.max_round2_queries) {
       return;
     }
-    const uint64_t ones = ones_count(sig[n]);
+    const uint64_t ones = ones_count(sig.row(n));
     const bool few_ones = ones != 0u && ones <= config.round2_ones_threshold;
     const bool few_zeros =
         ones != total && total - ones <= config.round2_ones_threshold;
@@ -101,10 +104,11 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
     result.sat_seconds += seconds_since(t_sat);
     if (witness.has_value()) {
       ++result.satisfiable_calls;
-      result.patterns.add_pattern(*witness);
+      round_witnesses.push_back(*witness);
       ++result.patterns_added;
     }
   });
+  result.patterns.add_patterns(round_witnesses);
 
   return result;
 }

@@ -12,6 +12,7 @@
 #include "sweep/tfi_manager.hpp"
 #include "tt/operations.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <unordered_map>
@@ -31,8 +32,18 @@ double seconds_since(clock_type::time_point start)
 /// Incremental counter-example simulation on the tree-cut-collapsed
 /// k-LUT view of the AIG (§IV-A: "convert nodes not within equivalence
 /// classes into k-LUTs, and then simulate candidate nodes").  Built once
-/// — merges preserve node functions, so the snapshot stays valid — and
-/// re-simulated one word at a time as CEs arrive.
+/// — merges preserve node functions, so the snapshot stays valid.
+///
+/// Counter-examples are absorbed one bit at a time by `add_ce`, which is
+/// *event-driven*: the pass evaluates only gates whose cones are
+/// reachable from inputs the CE actually flips away from the all-zero
+/// padding, and stops propagating wherever a gate's bit lands back on
+/// its *padding default* (its value under the all-zero assignment).
+/// Tail bits at positions ≥ num_patterns hold exactly those padding
+/// defaults — which is also what full-word STP evaluation of zero-padded
+/// pattern words produces — so clean cones need no work at all.  Every
+/// consumer masks the open word with sim::tail_mask, so the padding is
+/// never observable.
 class ce_simulator
 {
 public:
@@ -49,35 +60,95 @@ public:
     collapsed_ = cut::collapse_to_cuts(conv_.klut, targets, collapse_limit);
 
     // Restrict evaluation to the targets' cones.
-    needed_.assign(collapsed_.net.size(), false);
+    auto& net = collapsed_.net;
+    needed_.assign(net.size(), 0u);
     std::vector<knode> frontier;
     for (const knode t : targets) {
       const knode m = collapsed_.node_map[t];
-      if (collapsed_.net.is_gate(m) && !needed_[m]) {
-        needed_[m] = true;
+      if (net.is_gate(m) && !needed_[m]) {
+        needed_[m] = 1u;
         frontier.push_back(m);
       }
     }
     for (std::size_t i = 0; i < frontier.size(); ++i) {
-      for (const knode f : collapsed_.net.fanins(frontier[i])) {
-        if (collapsed_.net.is_gate(f) && !needed_[f]) {
-          needed_[f] = true;
+      for (const knode f : net.fanins(frontier[i])) {
+        if (net.is_gate(f) && !needed_[f]) {
+          needed_[f] = 1u;
           frontier.push_back(f);
         }
       }
     }
 
-    scratch_.reserve(collapsed_.net.max_fanin_size());
-    csig_.assign(collapsed_.net.size(), {});
+    scratch_.reserve(net.max_fanin_size());
+    csig_.reset(net.size(), patterns.num_words());
     for (std::size_t w = 0; w < patterns.num_words(); ++w) {
       simulate_word(patterns, w);
     }
+
+    // Padding defaults: each node's value under the all-zero assignment.
+    base_.assign(net.size(), 0u);
+    base_[1] = 1u;
+    net.foreach_gate([&](knode n) {
+      if (!needed_[n]) {
+        return;
+      }
+      const auto& fis = net.fanins(n);
+      uint64_t index = 0;
+      for (std::size_t i = 0; i < fis.size(); ++i) {
+        index |= uint64_t{base_[fis[i]]} << i;
+      }
+      base_[n] = net.table(n).bit(index) ? 1u : 0u;
+    });
+    deviates_.assign(net.size(), 0u);
   }
 
-  /// Recomputes the last signature word after a CE was appended.
-  void resim_last_word(const sim::pattern_set& patterns)
+  /// Absorbs the newest pattern (already appended to \p patterns) by
+  /// propagating its single bit through the dirty cones only.
+  void add_ce(const sim::pattern_set& patterns, const std::vector<bool>& ce)
   {
-    simulate_word(patterns, patterns.num_words() - 1u);
+    const uint64_t index = patterns.num_patterns() - 1u;
+    const std::size_t word = index >> 6u;
+    const uint64_t bit = uint64_t{1} << (index & 63u);
+    auto& net = collapsed_.net;
+    if (csig_.num_words() <= word) {
+      // Open a fresh word holding every node's padding default.
+      csig_.append_word();
+      for (std::size_t n = 0; n < net.size(); ++n) {
+        csig_.word(n, word) = base_[n] ? ~uint64_t{0} : 0u;
+      }
+    }
+    std::fill(deviates_.begin(), deviates_.end(), 0u);
+    net.foreach_pi([&](knode n) {
+      if (ce[n - 2u]) {
+        csig_.word(n, word) |= bit;
+        deviates_[n] = 1u;
+      }
+    });
+    const uint64_t shift = index & 63u;
+    net.foreach_gate([&](knode n) {
+      if (!needed_[n]) {
+        return;
+      }
+      const auto& fis = net.fanins(n);
+      bool dirty = false;
+      for (const knode f : fis) {
+        dirty = dirty || deviates_[f] != 0u;
+      }
+      if (!dirty) {
+        return; // bit stays at the padding default
+      }
+      uint64_t lut_index = 0;
+      for (std::size_t i = 0; i < fis.size(); ++i) {
+        lut_index |= ((csig_.word(fis[i], word) >> shift) & 1u) << i;
+      }
+      const bool v = net.table(n).bit(lut_index);
+      if (v) {
+        csig_.word(n, word) |= bit;
+      } else {
+        csig_.word(n, word) &= ~bit;
+      }
+      deviates_[n] = v != (base_[n] != 0u) ? 1u : 0u;
+    });
   }
 
   /// Signature word of an original AIG node (constant, PI, or target).
@@ -91,26 +162,18 @@ public:
       return patterns.input_bits(n - 1u)[word];
     }
     const knode m = collapsed_.node_map[conv_.node_map[n]];
-    return csig_[m][word];
+    return csig_.word(m, word);
   }
 
 private:
+  /// Full-word STP pass (initial simulation at build time only).
   void simulate_word(const sim::pattern_set& patterns, std::size_t word)
   {
-    const auto grow = [&](std::vector<uint64_t>& row) {
-      if (row.size() <= word) {
-        row.resize(word + 1u, 0u);
-      }
-    };
     auto& net = collapsed_.net;
-    grow(csig_[0]);
-    csig_[0][word] = 0u;
-    grow(csig_[1]);
-    csig_[1][word] = ~uint64_t{0};
-    net.foreach_pi([&](knode n) {
-      grow(csig_[n]);
-      csig_[n][word] = patterns.input_bits(n - 2u)[word];
-    });
+    csig_.word(0u, word) = 0u;
+    csig_.word(1u, word) = ~uint64_t{0};
+    net.foreach_pi(
+        [&](knode n) { csig_.word(n, word) = patterns.input_bits(n - 2u)[word]; });
     std::vector<uint64_t> ins;
     net.foreach_gate([&](knode n) {
       if (!needed_[n]) {
@@ -119,17 +182,18 @@ private:
       const auto& fis = net.fanins(n);
       ins.resize(fis.size());
       for (std::size_t i = 0; i < fis.size(); ++i) {
-        ins[i] = csig_[fis[i]][word];
+        ins[i] = csig_.word(fis[i], word);
       }
-      grow(csig_[n]);
-      csig_[n][word] = core::stp_evaluate_word(net.table(n), ins, scratch_);
+      csig_.word(n, word) = core::stp_evaluate_word(net.table(n), ins, scratch_);
     });
   }
 
   net::aig_to_klut_result conv_;
   cut::collapse_result collapsed_;
-  std::vector<bool> needed_;
-  sim::signature_table csig_;
+  std::vector<uint8_t> needed_;
+  std::vector<uint8_t> base_;     ///< padding default per node
+  std::vector<uint8_t> deviates_; ///< per-CE scratch: bit != default
+  sim::signature_store csig_;
   core::stp_scratch scratch_;
 };
 
@@ -169,7 +233,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   // ---- Initial STP simulation and equivalence classes (line 3). --------
   auto t_sim = clock_type::now();
   const core::stp_simulator stp_sim;
-  sim::signature_table sig = stp_sim.simulate_aig(aig, patterns);
+  sim::signature_store sig = stp_sim.simulate_aig(aig, patterns);
   equiv_classes classes;
   classes.build(aig, sig, sim::tail_mask(patterns.num_patterns()));
   stats.sim_seconds += seconds_since(t_sim);
@@ -190,9 +254,73 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
     stats.sim_seconds += seconds_since(t_sim);
   }
 
+  // ---- Batched counter-example bookkeeping. ----------------------------
+  // CEs land in the open tail word immediately (cesim keeps every bit
+  // current), but *refinement* is deferred per class: a class is refined
+  // only when (b) it is the current candidate's class and needs the fresh
+  // bits to make progress, (c) the loop advances to it, or (a) the word
+  // fills with 64 CEs and everything is brought up to date at once.
+  uint64_t applied_global = patterns.num_patterns();
+  std::vector<uint64_t> class_applied; // per class id, lazily grown
+  const auto mark_applied = [&](uint32_t c, uint64_t count) {
+    if (c >= class_applied.size()) {
+      class_applied.resize(c + 1u, 0u);
+    }
+    class_applied[c] = count;
+  };
+  const auto class_stale = [&](uint32_t c) {
+    const uint64_t applied =
+        std::max(applied_global,
+                 c < class_applied.size() ? class_applied[c] : 0u);
+    return applied < patterns.num_patterns();
+  };
+
+  // Copies the open tail word from the CE simulator into the candidate
+  // signature store for the given members (dead members keep their
+  // function — merges are function-preserving — so they sync too, which
+  // keeps refinement independent of *when* a class is refined).
+  const auto sync_member_rows = [&](const std::vector<net::node>& members) {
+    while (sig.num_words() < patterns.num_words()) {
+      sig.append_word();
+    }
+    const std::size_t last = patterns.num_words() - 1u;
+    for (const net::node m : members) {
+      sig.word(m, last) = cesim.node_word(aig, m, patterns, last);
+    }
+  };
+
+  std::vector<uint32_t> created_ids_scratch;
+  const auto refine_one_class = [&](uint32_t c) {
+    sync_member_rows(classes.members(c));
+    created_ids_scratch.clear();
+    classes.refine_class_with_word(
+        c, sig, patterns.num_words() - 1u,
+        sim::tail_mask(patterns.num_patterns()), &created_ids_scratch);
+    const uint64_t count = patterns.num_patterns();
+    mark_applied(c, count);
+    for (const uint32_t f : created_ids_scratch) {
+      mark_applied(f, count);
+    }
+  };
+
+  // Condition (a): bring every class up to date with the filled word.
+  const auto refine_all_classes = [&]() {
+    if (applied_global == patterns.num_patterns()) {
+      return;
+    }
+    const std::size_t last = patterns.num_words() - 1u;
+    for (uint32_t c = 0; c < classes.num_class_ids(); ++c) {
+      sync_member_rows(classes.members(c));
+    }
+    classes.refine_with_word(sig, last,
+                             sim::tail_mask(patterns.num_patterns()));
+    applied_global = patterns.num_patterns();
+  };
+
   // ---- Window resolution cache: class id → (size when checked, exact).
   std::unordered_map<uint32_t, std::pair<std::size_t, bool>> resolve_cache;
   std::vector<net::node> support_scratch;
+  std::vector<net::node> resolve_members_scratch;
   const auto maybe_resolve = [&](uint32_t c) -> bool {
     if (!params.use_window_resolution || c == equiv_classes::no_class) {
       return false;
@@ -214,8 +342,8 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
     std::map<tt::truth_table, uint64_t> groups;
     std::vector<uint64_t> keys;
     keys.reserve(members.size());
-    const std::vector<net::node> snapshot{members.begin(), members.end()};
-    for (const net::node m : snapshot) {
+    resolve_members_scratch.assign(members.begin(), members.end());
+    for (const net::node m : resolve_members_scratch) {
       tt::truth_table f =
           aig.is_constant(m)
               ? tt::make_const0(
@@ -228,15 +356,19 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       keys.push_back(it->second);
     }
     classes.split_by_keys(c, keys);
-    // Every surviving sub-class is exact now.
-    for (const net::node m : snapshot) {
+    // Every surviving sub-class is exact now — and, having just been
+    // derived from the freshly refined parent, already up to date.
+    const uint64_t applied_count = patterns.num_patterns();
+    for (const net::node m : resolve_members_scratch) {
       const uint32_t cid = classes.class_of(m);
       if (cid != equiv_classes::no_class) {
         resolve_cache[cid] = {classes.members(cid).size(), true};
+        mark_applied(cid, applied_count);
       }
     }
     stats.sim_seconds += seconds_since(t_win);
-    const uint32_t cid_first = classes.class_of(snapshot.front());
+    const uint32_t cid_first =
+        classes.class_of(resolve_members_scratch.front());
     return cid_first != equiv_classes::no_class;
   };
 
@@ -244,6 +376,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   tfi_manager tfi{aig, params.tfi_limit};
   std::vector<bool> dont_touch(aig.size(), false);
   const std::vector<net::node> order = net::reverse_topo_order(aig);
+  std::vector<net::node> members_scratch;
 
   for (const net::node n : order) {
     if (aig.is_dead(n) || dont_touch[n]) {
@@ -254,11 +387,22 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       if (c == equiv_classes::no_class) {
         break;
       }
+      // Conditions (b)/(c): the candidate's class must see every
+      // buffered counter-example bit before its membership is trusted.
+      if (params.use_collapsed_ce_simulation && class_stale(c)) {
+        t_sim = clock_type::now();
+        refine_one_class(c);
+        stats.sim_seconds += seconds_since(t_sim);
+        c = classes.class_of(n);
+        if (c == equiv_classes::no_class) {
+          break;
+        }
+      }
       // Drop members killed by cascaded merges.
       {
-        const std::vector<net::node> snapshot{classes.members(c).begin(),
-                                              classes.members(c).end()};
-        for (const net::node m : snapshot) {
+        members_scratch.assign(classes.members(c).begin(),
+                               classes.members(c).end());
+        for (const net::node m : members_scratch) {
           if (aig.is_and(m) && aig.is_dead(m)) {
             classes.remove_member(m);
           }
@@ -323,33 +467,36 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
         break;
       }
 
-      // Counter-example (lines 26-28): STP-simulate class nodes only.
+      // Counter-example (lines 26-28, batched): the bit lands in the
+      // open tail word now; refinement is deferred to conditions
+      // (a)/(b)/(c) above.
       ++stats.sat_calls_satisfiable;
       ++stats.ce_patterns;
       t_sim = clock_type::now();
-      patterns.add_pattern(encoder.model_inputs());
-      const std::size_t last = patterns.num_words() - 1u;
+      const std::vector<bool> ce = encoder.model_inputs();
       if (params.use_collapsed_ce_simulation) {
-        cesim.resim_last_word(patterns);
-        for (uint32_t cid = 0; cid < classes.num_class_ids(); ++cid) {
-          for (const net::node m : classes.members(cid)) {
-            auto& row = sig[m];
-            if (row.size() <= last) {
-              row.resize(last + 1u, 0u);
-            }
-            if (!aig.is_dead(m) || !aig.is_and(m)) {
-              row[last] = cesim.node_word(aig, m, patterns, last);
-            }
-          }
+        if (patterns.num_patterns() % 64u == 0u) {
+          refine_all_classes(); // condition (a): word full, flush
         }
-        if (sig[0].size() <= last) {
-          sig[0].resize(last + 1u, 0u);
+        patterns.add_pattern(ce);
+        cesim.add_ce(patterns, ce);
+        if (!params.use_batched_ce_refinement) {
+          // Ablation: eager per-CE refinement (the seed's behavior).
+          const std::size_t last = patterns.num_words() - 1u;
+          for (uint32_t cid = 0; cid < classes.num_class_ids(); ++cid) {
+            sync_member_rows(classes.members(cid));
+          }
+          classes.refine_with_word(
+              sig, last, sim::tail_mask(patterns.num_patterns()));
+          applied_global = patterns.num_patterns();
         }
       } else {
+        patterns.add_pattern(ce);
         sim::resimulate_aig_last_word(aig, patterns, sig);
+        classes.refine_with_word(sig, patterns.num_words() - 1u,
+                                 sim::tail_mask(patterns.num_patterns()));
+        applied_global = patterns.num_patterns();
       }
-      classes.refine_with_word(sig, last,
-                               sim::tail_mask(patterns.num_patterns()));
       stats.sim_seconds += seconds_since(t_sim);
     }
   }

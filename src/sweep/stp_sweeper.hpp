@@ -21,6 +21,13 @@
 ///    collapsed with the tree-cut algorithm (§III-B) — not the whole AIG.
 /// 6. **unDET handling**: budget-exhausted queries mark the candidate
 ///    don't-touch (lines 19-21).
+/// 7. **Batched counter-example refinement** (classic FRAIG batching):
+///    CE bits are buffered into the open tail word by an event-driven
+///    single-bit pass, and classes are re-partitioned lazily — the
+///    current candidate's class when it needs the fresh bits to make
+///    progress, any other class when the loop advances to it, and all
+///    classes at once when the word fills with 64 CEs — instead of
+///    paying a full-word re-simulation + global refinement per CE.
 #pragma once
 
 #include "network/aig.hpp"
@@ -37,6 +44,11 @@ struct stp_sweep_params
   bool use_guided_patterns = true; ///< ablation B: false = random only
   bool use_window_resolution = true; ///< ablation: exhaustive windows
   bool use_collapsed_ce_simulation = true; ///< ablation: STP CE windows
+  /// Ablation: false reverts to eager one-CE-per-word refinement (every
+  /// counter-example immediately refines every class).  Both settings
+  /// produce the same merges and final network; batching only changes
+  /// when the partition work is paid.
+  bool use_batched_ce_refinement = true;
 
   int64_t conflict_budget = -1;  ///< equivalence queries; -1 = unlimited
   std::size_t tfi_limit = 1000;  ///< Alg. 2 line 1

@@ -9,15 +9,15 @@ namespace {
 using namespace stps;
 using sweep::equiv_classes;
 
-/// Small fixture: hand-built signatures over a fake 6-node id space
-/// (0 = constant).
-sim::signature_table make_signatures(
+/// Small fixture: hand-built one-word signatures over a dense id space
+/// (0 = constant; unspecified nodes keep all-zero rows).
+sim::signature_store make_signatures(
     std::initializer_list<std::pair<net::node, uint64_t>> rows,
     std::size_t size)
 {
-  sim::signature_table sig(size);
+  sim::signature_store sig(size, 1u);
   for (const auto& [n, w] : rows) {
-    sig[n] = {w};
+    sig.word(n, 0u) = w;
   }
   return sig;
 }
@@ -91,20 +91,19 @@ TEST(EquivClasses, RefineSplitsOnNewWord)
   aig.create_po(g2);
   const net::node n1 = g1.get_node(), n2 = g2.get_node();
 
-  sim::signature_table sig(aig.size());
-  sig[0] = {0u, 0u};
-  sig[a.get_node()] = {0xffu, 0u};
-  sig[b.get_node()] = {0xf0u, 0u};
-  sig[n1] = {0xaau, 0u};
-  sig[n2] = {0xaau, 0u};
+  sim::signature_store sig(aig.size(), 2u);
+  sig.word(a.get_node(), 0u) = 0xffu;
+  sig.word(b.get_node(), 0u) = 0xf0u;
+  sig.word(n1, 0u) = 0xaau;
+  sig.word(n2, 0u) = 0xaau;
 
   equiv_classes classes;
   classes.build(aig, sig);
   ASSERT_EQ(classes.class_of(n1), classes.class_of(n2));
 
   // A counter-example lands in word 1 and separates them.
-  sig[n1][1] = 0x1u;
-  sig[n2][1] = 0x0u;
+  sig.word(n1, 1u) = 0x1u;
+  sig.word(n2, 1u) = 0x0u;
   const std::size_t created = classes.refine_with_word(sig, 1u);
   EXPECT_GE(created, 0u);
   EXPECT_EQ(classes.class_of(n1), equiv_classes::no_class);
@@ -122,22 +121,19 @@ TEST(EquivClasses, RefineKeepsComplementPairsTogether)
   aig.create_po(g2);
   const net::node n1 = g1.get_node(), n2 = g2.get_node();
 
-  sim::signature_table sig(aig.size());
-  sig[0] = {0u};
-  sig[a.get_node()] = {0x6u};
-  sig[b.get_node()] = {0x3u};
-  sig[n1] = {0x2u};            // phase 0
-  sig[n2] = {~uint64_t{0x2u}}; // phase 1 (complement)
+  sim::signature_store sig(aig.size(), 1u);
+  sig.word(a.get_node(), 0u) = 0x6u;
+  sig.word(b.get_node(), 0u) = 0x3u;
+  sig.word(n1, 0u) = 0x2u;            // phase 0
+  sig.word(n2, 0u) = ~uint64_t{0x2u}; // phase 1 (complement)
   equiv_classes classes;
   classes.build(aig, sig);
   ASSERT_EQ(classes.class_of(n1), classes.class_of(n2));
 
   // New word keeps them complementary → no split.
-  sig[n1].push_back(0x55u);
-  sig[n2].push_back(~uint64_t{0x55u});
-  sig[0].push_back(0u);
-  sig[a.get_node()].push_back(0u);
-  sig[b.get_node()].push_back(0u);
+  sig.append_word();
+  sig.word(n1, 1u) = 0x55u;
+  sig.word(n2, 1u) = ~uint64_t{0x55u};
   classes.refine_with_word(sig, 1u);
   EXPECT_EQ(classes.class_of(n1), classes.class_of(n2));
   EXPECT_NE(classes.class_of(n1), equiv_classes::no_class);
@@ -158,14 +154,13 @@ TEST(EquivClasses, SplitByKeysAndRemoveMember)
   const net::node n1 = g1.get_node(), n2 = g2.get_node(),
                   n3 = g3.get_node();
 
-  sim::signature_table sig(aig.size());
-  sig[0] = {0u};
-  sig[a.get_node()] = {0x1u};
-  sig[b.get_node()] = {0x2u};
-  sig[c.get_node()] = {0x4u};
-  sig[n1] = {0x8u};
-  sig[n2] = {0x8u};
-  sig[n3] = {0x8u};
+  sim::signature_store sig(aig.size(), 1u);
+  sig.word(a.get_node(), 0u) = 0x1u;
+  sig.word(b.get_node(), 0u) = 0x2u;
+  sig.word(c.get_node(), 0u) = 0x4u;
+  sig.word(n1, 0u) = 0x8u;
+  sig.word(n2, 0u) = 0x8u;
+  sig.word(n3, 0u) = 0x8u;
   equiv_classes classes;
   classes.build(aig, sig);
   const uint32_t cls = classes.class_of(n1);

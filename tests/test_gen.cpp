@@ -14,7 +14,7 @@ namespace {
 using namespace stps;
 
 /// Reads PO \p po of \p aig as bit \p pat of a word-parallel run.
-bool po_bit(const net::aig_network& aig, const sim::signature_table& sig,
+bool po_bit(const net::aig_network& aig, const sim::signature_store& sig,
             uint32_t po, uint64_t pat)
 {
   const auto f = aig.po_at(po);
@@ -33,7 +33,7 @@ uint64_t read_word(const sim::pattern_set& p, uint32_t first, uint32_t width,
 }
 
 uint64_t read_po_word(const net::aig_network& aig,
-                      const sim::signature_table& sig, uint32_t first,
+                      const sim::signature_store& sig, uint32_t first,
                       uint32_t width, uint64_t pat)
 {
   uint64_t v = 0;

@@ -112,6 +112,36 @@ TEST(StpSweep, WindowMergesHappen)
       << "exhaustive window resolution never fired";
 }
 
+TEST(StpSweep, BatchedCeMatchesEagerExactly)
+{
+  // Batched counter-example refinement defers class re-partitioning
+  // (conditions a/b/c of the candidate loop) but must not change any
+  // decision: same SAT queries, same merges, same final network as the
+  // seed's eager one-CE-per-word behavior.
+  for (const uint64_t seed : {3u, 17u, 29u}) {
+    auto eager = redundant_test_circuit(seed, 900u);
+    auto batched = eager;
+    const net::aig_network original = eager;
+
+    sweep::stp_sweep_params p_eager;
+    p_eager.guided.base_patterns = 512u;
+    p_eager.use_batched_ce_refinement = false;
+    sweep::stp_sweep_params p_batched = p_eager;
+    p_batched.use_batched_ce_refinement = true;
+
+    const auto se = sweep::stp_sweep(eager, p_eager);
+    const auto sb = sweep::stp_sweep(batched, p_batched);
+
+    EXPECT_EQ(se.merges, sb.merges) << "seed " << seed;
+    EXPECT_EQ(se.sat_calls_total, sb.sat_calls_total) << "seed " << seed;
+    EXPECT_EQ(se.sat_calls_satisfiable, sb.sat_calls_satisfiable)
+        << "seed " << seed;
+    EXPECT_EQ(eager.num_gates(), batched.num_gates()) << "seed " << seed;
+    EXPECT_TRUE(sweep::check_equivalence(original, batched).equivalent)
+        << "seed " << seed;
+  }
+}
+
 TEST(StpSweep, AblationFlagsStillSound)
 {
   for (int variant = 0; variant < 3; ++variant) {
