@@ -17,16 +17,23 @@
 /// −35% total runtime).
 ///
 /// `--json <path>` additionally writes the per-benchmark counters
-/// (gates, SAT calls, sim/SAT/total seconds for both engines) and the
-/// geometric means as machine-readable JSON — the perf-trajectory
-/// convention: each PR regenerates BENCH_sweep.json so regressions show
-/// up in review (absolute seconds are machine-specific; compare ratios).
+/// (gates, SAT calls, CE-propagation gate visits, sim/SAT/total seconds
+/// for both engines) and the geometric means as machine-readable JSON —
+/// the perf-trajectory convention: each PR regenerates BENCH_sweep.json
+/// so regressions show up in review (absolute seconds are
+/// machine-specific; compare ratios).
+///
+/// `--scale <n>` appends paper-scale instances (≥ 30k gates, wider
+/// arithmetic + deeper random logic; see bench/README.md) where the
+/// STP-vs-fraig runtime claim can re-emerge; 0 (the default) keeps the
+/// original scaled-down suite only.
 #include "gen/benchmarks.hpp"
 #include "network/traversal.hpp"
 #include "sweep/cec.hpp"
 #include "sweep/fraig.hpp"
 #include "sweep/stp_sweeper.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -58,16 +65,20 @@ void write_engine_json(std::FILE* f, const char* key,
   std::fprintf(f,
                "      \"%s\": {\"sat_calls_total\": %llu, "
                "\"sat_calls_satisfiable\": %llu, \"merges\": %llu, "
+               "\"ce_gates_visited\": %llu, "
+               "\"ce_gates_scan_baseline\": %llu, "
                "\"sim_seconds\": %.6f, \"sat_seconds\": %.6f, "
                "\"total_seconds\": %.6f}",
                key, static_cast<unsigned long long>(s.sat_calls_total),
                static_cast<unsigned long long>(s.sat_calls_satisfiable),
-               static_cast<unsigned long long>(s.merges), s.sim_seconds,
-               s.sat_seconds, s.total_seconds);
+               static_cast<unsigned long long>(s.merges),
+               static_cast<unsigned long long>(s.ce_gates_visited),
+               static_cast<unsigned long long>(s.ce_gates_scan_baseline),
+               s.sim_seconds, s.sat_seconds, s.total_seconds);
 }
 
 bool write_json(const std::string& path, uint64_t base_patterns,
-                const std::vector<json_row>& rows)
+                uint32_t scale, const std::vector<json_row>& rows)
 {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -75,8 +86,9 @@ bool write_json(const std::string& path, uint64_t base_patterns,
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"table2_sweeping\",\n"
-                  "  \"patterns\": %llu,\n  \"benchmarks\": [\n",
-               static_cast<unsigned long long>(base_patterns));
+                  "  \"patterns\": %llu,\n  \"scale\": %u,\n"
+                  "  \"benchmarks\": [\n",
+               static_cast<unsigned long long>(base_patterns), scale);
   std::vector<double> time_f, time_s, sat_f, sat_s;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const json_row& r = rows[i];
@@ -112,6 +124,7 @@ int main(int argc, char** argv)
 {
   using namespace stps;
   uint64_t base_patterns = 1024u;
+  uint32_t scale = 0;
   std::string json_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--patterns") == 0) {
@@ -120,11 +133,15 @@ int main(int argc, char** argv)
     if (std::strcmp(argv[i], "--json") == 0) {
       json_path = argv[i + 1];
     }
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = static_cast<uint32_t>(std::stoul(argv[i + 1]));
+    }
   }
+  scale = std::min(scale, gen::max_sweep_scale); // keep recorded scale honest
 
-  std::printf("Table II: SAT sweeping, %llu initial patterns "
-              "(scaled-down generated instances; see DESIGN.md)\n\n",
-              static_cast<unsigned long long>(base_patterns));
+  std::printf("Table II: SAT sweeping, %llu initial patterns, scale %u "
+              "(generated instances; see bench/README.md)\n\n",
+              static_cast<unsigned long long>(base_patterns), scale);
   std::printf("%-13s %11s %5s %7s %7s | %7s %7s | %8s %8s | %7s %7s | "
               "%7s %7s %5s\n",
               "Benchmark", "PI/PO", "Lev", "Gate", "Result", "sat-F",
@@ -136,7 +153,7 @@ int main(int argc, char** argv)
   bool all_verified = true;
   std::vector<json_row> json_rows;
 
-  for (const auto& name : gen::sweep_names()) {
+  for (const auto& name : gen::sweep_names(scale)) {
     const net::aig_network original = gen::make_sweep_benchmark(name);
 
     net::aig_network by_fraig = original;
@@ -203,7 +220,8 @@ int main(int argc, char** argv)
               geomean(g_time_s) / geomean(g_time_f));
   std::printf("\nall results CEC-verified: %s\n",
               all_verified ? "yes" : "NO — BUG");
-  if (!json_path.empty() && !write_json(json_path, base_patterns, json_rows)) {
+  if (!json_path.empty() &&
+      !write_json(json_path, base_patterns, scale, json_rows)) {
     return 1;
   }
   return all_verified ? 0 : 1;

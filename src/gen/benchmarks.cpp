@@ -4,6 +4,7 @@
 #include "gen/random_logic.hpp"
 #include "gen/redundancy.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace stps::gen {
@@ -92,11 +93,29 @@ std::vector<named_benchmark> epfl_suite()
   return suite;
 }
 
-std::vector<std::string> sweep_names()
+std::vector<std::string> sweep_names(uint32_t scale)
 {
-  return {"6s100",       "6s20",    "6s203b41",   "6s281b35", "6s342rb122",
-          "6s350rb46",   "6s382r",  "6s392r",     "beemfwt4b1",
-          "beemfwt5b3",  "oski15a07b0s", "oski2b1i", "b18", "b19", "leon2"};
+  std::vector<std::string> names{
+      "6s100",       "6s20",    "6s203b41",   "6s281b35", "6s342rb122",
+      "6s350rb46",   "6s382r",  "6s392r",     "beemfwt4b1",
+      "beemfwt5b3",  "oski15a07b0s", "oski2b1i", "b18", "b19", "leon2"};
+  // Paper-scale points (≥ 30k gates): wider arithmetic and deeper random
+  // logic with injected redundancy, where STP-guided simulation can pay
+  // for itself as in the paper's 30k-2M-gate instances.
+  static const char* const scaled[max_sweep_scale][3] = {
+      {"mult48r", "rand35k", "shift1kr"},
+      {"mult64r", "rand70k", nullptr},
+      {"mult96r", "rand140k", nullptr},
+  };
+  const uint32_t s = std::min(scale, max_sweep_scale);
+  for (uint32_t k = 0; k < s; ++k) {
+    for (const char* const name : scaled[k]) {
+      if (name != nullptr) {
+        names.emplace_back(name);
+      }
+    }
+  }
+  return names;
 }
 
 namespace {
@@ -173,6 +192,31 @@ sweep_recipe recipe_for(const std::string& name)
   } else if (name == "leon2") {
     r.random = {150u, 140u, 10000u, 0x1e02u, 10u};
     r.redundancy = {2u, 6u, 0x1e02u, 200u};
+  } else if (name == "mult48r") { // ~33k gates
+    r.kind = K::multiplier;
+    r.width = 48u;
+    r.redundancy = {3u, 10u, 0x5c48u, 300u};
+  } else if (name == "rand35k") { // ~35k gates
+    r.random = {320u, 260u, 30000u, 0x30cau, 15u};
+    r.redundancy = {3u, 12u, 0x30cau, 400u};
+  } else if (name == "shift1kr") { // ~40k gates, 1024-bit barrel shifter
+    r.kind = K::barrel;
+    r.width = 10u;
+    r.redundancy = {4u, 10u, 0xba10u, 350u};
+  } else if (name == "mult64r") { // ~51k gates
+    r.kind = K::multiplier;
+    r.width = 64u;
+    r.redundancy = {3u, 10u, 0x5c64u, 400u};
+  } else if (name == "rand70k") { // ~70k gates
+    r.random = {512u, 400u, 62000u, 0x70cau, 15u};
+    r.redundancy = {3u, 14u, 0x70cau, 600u};
+  } else if (name == "mult96r") { // ~114k gates
+    r.kind = K::multiplier;
+    r.width = 96u;
+    r.redundancy = {2u, 10u, 0x5c96u, 500u};
+  } else if (name == "rand140k") { // ~140k gates
+    r.random = {768u, 600u, 125000u, 0x140cau, 15u};
+    r.redundancy = {2u, 16u, 0x140cau, 900u};
   } else {
     throw std::invalid_argument{"make_sweep_benchmark: unknown " + name};
   }
@@ -196,10 +240,10 @@ net::aig_network make_sweep_benchmark(const std::string& name)
   return inject_redundancy(base, r.redundancy);
 }
 
-std::vector<named_benchmark> sweep_suite()
+std::vector<named_benchmark> sweep_suite(uint32_t scale)
 {
   std::vector<named_benchmark> suite;
-  for (const std::string& name : sweep_names()) {
+  for (const std::string& name : sweep_names(scale)) {
     suite.push_back({name, make_sweep_benchmark(name)});
   }
   return suite;

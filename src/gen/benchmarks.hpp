@@ -8,6 +8,11 @@
 /// * `sweep_suite()` — the 15 HWMCC'15/IWLS'05 names of Table II, each a
 ///   base circuit with injected redundancy (see redundancy.hpp), scaled
 ///   down from the paper's 30k-2M gate instances.
+/// * `sweep_suite(scale)` — the same 15 plus, for `scale >= 1`,
+///   paper-scale instances of ≥ 30k gates (wider arithmetic and deeper
+///   random logic with injected redundancy), where the STP sweeper's
+///   simulation investment can pay off as in the paper.  Each scale step
+///   (up to 3) appends larger instances; see bench/README.md.
 #pragma once
 
 #include "network/aig.hpp"
@@ -30,11 +35,16 @@ net::aig_network make_epfl(const std::string& name);
 /// Builds the full suite.
 std::vector<named_benchmark> epfl_suite();
 
-/// All Table II benchmark names, in the paper's order.
-std::vector<std::string> sweep_names();
-/// Builds one sweeping benchmark by name; throws on unknown names.
+/// Largest meaningful `scale` argument; higher values clamp.
+inline constexpr uint32_t max_sweep_scale = 3;
+
+/// All Table II benchmark names, in the paper's order; `scale >= 1`
+/// (clamped to max_sweep_scale) appends the paper-scale instances.
+std::vector<std::string> sweep_names(uint32_t scale = 0);
+/// Builds one sweeping benchmark by name (base or paper-scale); throws
+/// on unknown names.
 net::aig_network make_sweep_benchmark(const std::string& name);
-/// Builds the full suite.
-std::vector<named_benchmark> sweep_suite();
+/// Builds the full suite at the given scale.
+std::vector<named_benchmark> sweep_suite(uint32_t scale = 0);
 
 } // namespace stps::gen

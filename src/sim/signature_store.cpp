@@ -11,11 +11,13 @@ void signature_store::reset(std::size_t num_nodes, std::size_t num_words)
   num_words_ = num_words;
   stride_ = num_words;
   data_.assign(num_nodes * stride_, 0u);
+  tail_.clear();
 }
 
 void signature_store::assign_row(std::size_t n,
                                  std::span<const uint64_t> values)
 {
+  assert(num_words_ == stride_ && "assign_row(): store has tail words");
   if (values.size() != num_words_) {
     throw std::invalid_argument{"signature_store: row width mismatch"};
   }
@@ -24,26 +26,16 @@ void signature_store::assign_row(std::size_t n,
 
 void signature_store::fill_row(std::size_t n, uint64_t value)
 {
+  assert(num_words_ == stride_ && "fill_row(): store has tail words");
   uint64_t* p = data_.data() + n * stride_;
   std::fill(p, p + num_words_, value);
 }
 
 void signature_store::append_word()
 {
-  if (num_words_ == stride_) {
-    // Repack into a wider stride; headroom amortizes subsequent appends.
-    const std::size_t new_stride =
-        std::max<std::size_t>(stride_ + stride_ / 2u, stride_ + 4u);
-    std::vector<uint64_t> grown(num_nodes_ * new_stride, 0u);
-    for (std::size_t n = 0; n < num_nodes_; ++n) {
-      std::copy_n(data_.data() + n * stride_, num_words_,
-                  grown.data() + n * new_stride);
-    }
-    data_ = std::move(grown);
-    stride_ = new_stride;
-  }
-  // Slack words inside the stride are zero by construction, so the fresh
-  // word needs no clearing.
+  // Word-major tail block: the node-major base is never repacked, and
+  // the appended word's bits are contiguous across nodes.
+  tail_.emplace_back(num_nodes_, 0u);
   ++num_words_;
 }
 
@@ -54,6 +46,12 @@ void signature_store::mask_tail(uint64_t num_patterns)
   }
   const uint64_t mask = tail_mask(num_patterns);
   if (mask == ~uint64_t{0}) {
+    return;
+  }
+  if (num_words_ > stride_) {
+    for (uint64_t& w : tail_.back()) {
+      w &= mask;
+    }
     return;
   }
   uint64_t* last = data_.data() + num_words_ - 1u;

@@ -1,16 +1,25 @@
 /// \file signature_store.hpp
-/// \brief Flat node-major arena for simulation signatures.
+/// \brief Flat node-major base arena + word-major tail blocks for
+/// simulation signatures.
 ///
 /// A *signature* is the ordered set of values a node produces under a
-/// pattern set, one word per 64 patterns.  The store keeps every node's
-/// words in one contiguous buffer at a fixed stride, so a whole
-/// simulation run touches memory linearly instead of chasing one heap
-/// allocation per node, and appending a counter-example word is one
-/// amortized grow instead of `size()` vector reallocations.
+/// pattern set, one word per 64 patterns.  The words dimensioned at
+/// `reset` time (the *base*) live in one contiguous node-major buffer at
+/// a fixed stride, so a whole simulation run touches memory linearly
+/// instead of chasing one heap allocation per node.  Words appended
+/// later by `append_word` (counter-example words) live in *word-major
+/// tail blocks*: one flat `num_nodes`-sized block per appended word.
+/// Appending therefore never repacks the node-major arena, and the hot
+/// counter-example accesses — every node's bits of the one open word —
+/// are contiguous.
 ///
-/// Layout: `data_[n * stride_ + w]` is word `w` of node `n`, with
-/// `stride_ >= num_words()` providing grow-by-word headroom.  Words at or
-/// beyond `num_words()` inside the stride are always zero.
+/// Layout: word `w` of node `n` is `data_[n * stride_ + w]` for
+/// `w < base_words()`, and `tail[w - base_words()][n]` otherwise; `word`
+/// and the `operator[]` row views dispatch.  The contiguous-span
+/// accessors (`row`, `assign_row`, `fill_row`) address the node-major
+/// base only and require `num_words() == base_words()` — i.e. stores
+/// that have not appended tail words, which is every simulator-facing
+/// use.
 ///
 /// Simulators guarantee the *canonical tail* invariant — bits at
 /// positions at or beyond `num_patterns` in the final word are zero, so
@@ -18,6 +27,7 @@
 /// `mask_tail`, the single place the invariant is enforced.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -36,34 +46,34 @@ class signature_store
 {
 public:
   /// Read-only view of one node's words; comparable against other rows
-  /// and against plain word vectors, and indexable per word.
+  /// and against plain word vectors, and indexable per word.  The view
+  /// dispatches through the store, so it sees base and tail words alike.
   class row_view
   {
   public:
     row_view() = default;
-    row_view(const uint64_t* words, std::size_t count) noexcept
-        : words_{words}, count_{count}
+    row_view(const signature_store* store, std::size_t node) noexcept
+        : store_{store}, node_{node}
     {
     }
 
-    const uint64_t* begin() const noexcept { return words_; }
-    const uint64_t* end() const noexcept { return words_ + count_; }
-    const uint64_t* data() const noexcept { return words_; }
-    std::size_t size() const noexcept { return count_; }
-    bool empty() const noexcept { return count_ == 0u; }
-    uint64_t operator[](std::size_t w) const noexcept { return words_[w]; }
-    operator std::span<const uint64_t>() const noexcept
+    std::size_t size() const noexcept
     {
-      return {words_, count_};
+      return store_ != nullptr ? store_->num_words() : 0u;
+    }
+    bool empty() const noexcept { return size() == 0u; }
+    uint64_t operator[](std::size_t w) const noexcept
+    {
+      return store_->word(node_, w);
     }
 
     friend bool operator==(row_view a, row_view b) noexcept
     {
-      if (a.count_ != b.count_) {
+      if (a.size() != b.size()) {
         return false;
       }
-      for (std::size_t w = 0; w < a.count_; ++w) {
-        if (a.words_[w] != b.words_[w]) {
+      for (std::size_t w = 0; w < a.size(); ++w) {
+        if (a[w] != b[w]) {
           return false;
         }
       }
@@ -71,12 +81,20 @@ public:
     }
     friend bool operator==(row_view a, const std::vector<uint64_t>& b)
     {
-      return a == row_view{b.data(), b.size()};
+      if (a.size() != b.size()) {
+        return false;
+      }
+      for (std::size_t w = 0; w < a.size(); ++w) {
+        if (a[w] != b[w]) {
+          return false;
+        }
+      }
+      return true;
     }
 
   private:
-    const uint64_t* words_ = nullptr;
-    std::size_t count_ = 0;
+    const signature_store* store_ = nullptr;
+    std::size_t node_ = 0;
   };
 
   signature_store() = default;
@@ -91,27 +109,43 @@ public:
 
   std::size_t size() const noexcept { return num_nodes_; }
   std::size_t num_words() const noexcept { return num_words_; }
+  /// Words living in the node-major base arena (the `reset` dimensions);
+  /// words at or beyond this index live in word-major tail blocks.
+  std::size_t base_words() const noexcept { return stride_; }
 
-  row_view operator[](std::size_t n) const noexcept
-  {
-    return {data_.data() + n * stride_, num_words_};
-  }
+  row_view operator[](std::size_t n) const noexcept { return {this, n}; }
+  /// Contiguous node-major row; valid only while no tail words exist
+  /// (`num_words() == base_words()`), which holds for every
+  /// simulator-facing store.
   std::span<uint64_t> row(std::size_t n) noexcept
   {
+    assert(num_words_ == stride_ && "row(): store has tail words");
     return {data_.data() + n * stride_, num_words_};
   }
   std::span<const uint64_t> row(std::size_t n) const noexcept
   {
+    assert(num_words_ == stride_ && "row(): store has tail words");
     return {data_.data() + n * stride_, num_words_};
   }
 
   uint64_t word(std::size_t n, std::size_t w) const noexcept
   {
-    return data_[n * stride_ + w];
+    return w < stride_ ? data_[n * stride_ + w] : tail_[w - stride_][n];
   }
   uint64_t& word(std::size_t n, std::size_t w) noexcept
   {
-    return data_[n * stride_ + w];
+    return w < stride_ ? data_[n * stride_ + w] : tail_[w - stride_][n];
+  }
+
+  /// Contiguous view of all nodes' bits of tail word \p w (requires
+  /// `w >= base_words()`): element n is node n's word.
+  std::span<uint64_t> tail_word(std::size_t w) noexcept
+  {
+    return {tail_[w - stride_].data(), num_nodes_};
+  }
+  std::span<const uint64_t> tail_word(std::size_t w) const noexcept
+  {
+    return {tail_[w - stride_].data(), num_nodes_};
   }
 
   /// Copies \p values into row \p n (must have exactly num_words words).
@@ -120,7 +154,8 @@ public:
   void fill_row(std::size_t n, uint64_t value);
 
   /// Appends one zeroed word to every row (for counter-example patterns
-  /// spilling into a fresh word).  Amortized O(size) via stride headroom.
+  /// spilling into a fresh word).  The word is a word-major tail block:
+  /// one O(size) allocation, never a repack of the node-major base.
   void append_word();
 
   /// Re-establishes the canonical-tail invariant: bits at or beyond
@@ -128,10 +163,11 @@ public:
   void mask_tail(uint64_t num_patterns);
 
 private:
-  std::vector<uint64_t> data_;
+  std::vector<uint64_t> data_;                ///< node-major base arena
+  std::vector<std::vector<uint64_t>> tail_;   ///< word-major appended words
   std::size_t num_nodes_ = 0;
   std::size_t num_words_ = 0;
-  std::size_t stride_ = 0;
+  std::size_t stride_ = 0;                    ///< base words per row
 };
 
 } // namespace stps::sim

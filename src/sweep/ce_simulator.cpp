@@ -1,0 +1,185 @@
+#include "sweep/ce_simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace stps::sweep {
+
+void ce_simulator::build(const net::aig_network& aig,
+                         std::span<const net::node> target_gates,
+                         uint32_t collapse_limit,
+                         const sim::pattern_set& patterns)
+{
+  conv_ = net::aig_to_klut(aig);
+  std::vector<knode> targets;
+  targets.reserve(target_gates.size());
+  for (const net::node n : target_gates) {
+    targets.push_back(conv_.node_map[n]);
+  }
+  collapsed_ = cut::collapse_to_cuts(conv_.klut, targets, collapse_limit);
+
+  // Restrict evaluation to the targets' cones.
+  auto& net = collapsed_.net;
+  needed_.assign(net.size(), 0u);
+  needed_count_ = 0;
+  std::vector<knode> frontier;
+  for (const knode t : targets) {
+    const knode m = collapsed_.node_map[t];
+    if (net.is_gate(m) && !needed_[m]) {
+      needed_[m] = 1u;
+      ++needed_count_;
+      frontier.push_back(m);
+    }
+  }
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    for (const knode f : net.fanins(frontier[i])) {
+      if (net.is_gate(f) && !needed_[f]) {
+        needed_[f] = 1u;
+        ++needed_count_;
+        frontier.push_back(f);
+      }
+    }
+  }
+
+  scratch_.reserve(net.max_fanin_size());
+  // Fully word-major store: every word is a contiguous tail block, so a
+  // CE's single-word traffic stays in one `size()`-word block.
+  csig_.reset(net.size(), 0u);
+  for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+    csig_.append_word();
+    simulate_word(patterns, w);
+  }
+
+  // Padding defaults: each node's value under the all-zero assignment.
+  base_.assign(net.size(), 0u);
+  base_[1] = 1u;
+  net.foreach_gate([&](knode n) {
+    if (!needed_[n]) {
+      return;
+    }
+    const auto& fis = net.fanins(n);
+    uint64_t index = 0;
+    for (std::size_t i = 0; i < fis.size(); ++i) {
+      index |= uint64_t{base_[fis[i]]} << i;
+    }
+    base_[n] = net.table(n).bit(index) ? 1u : 0u;
+  });
+
+  queued_bits_.assign((net.size() + 63u) / 64u, 0u);
+  gates_visited_ = 0;
+  scan_baseline_ = 0;
+}
+
+void ce_simulator::open_word(std::size_t word)
+{
+  // Fresh tail word holding every node's padding default: what full-word
+  // STP evaluation of zero-padded pattern words would produce.
+  csig_.append_word();
+  const auto block = csig_.tail_word(word);
+  for (std::size_t n = 0; n < block.size(); ++n) {
+    block[n] = base_[n] ? ~uint64_t{0} : 0u;
+  }
+}
+
+void ce_simulator::add_ce(const sim::pattern_set& patterns,
+                          const std::vector<bool>& ce)
+{
+  const uint64_t index = patterns.num_patterns() - 1u;
+  const std::size_t word = index >> 6u;
+  const uint64_t bit = uint64_t{1} << (index & 63u);
+  const uint64_t shift = index & 63u;
+  auto& net = collapsed_.net;
+  if (csig_.num_words() <= word) {
+    open_word(word);
+  }
+  uint64_t* const wb = csig_.tail_word(word).data(); // this CE's block
+
+  const auto push_fanouts = [&](knode n) {
+    for (const knode fo : net.fanout(n)) {
+      if (needed_[fo]) {
+        queued_bits_[fo >> 6u] |= uint64_t{1} << (fo & 63u);
+      }
+    }
+  };
+
+  // Seed: PIs the CE flips away from the all-zero padding.  Every other
+  // node's bit already holds its padding default, so clean cones are
+  // never touched.
+  net.foreach_pi([&](knode n) {
+    if (ce[n - 2u]) {
+      wb[n] |= bit;
+      push_fanouts(n);
+    }
+  });
+
+  // Drain in increasing id (= topological) order; pushes always exceed
+  // the id being processed, so every gate is evaluated after all its
+  // disturbed fanins settled, exactly once.  Clearing each bit as it is
+  // drained leaves the bitset all-zero for the next CE.
+  const std::size_t qw_begin = (2u + net.num_pis()) >> 6u;
+  for (std::size_t qw = qw_begin; qw < queued_bits_.size(); ++qw) {
+    while (queued_bits_[qw] != 0u) {
+      const unsigned lowest = std::countr_zero(queued_bits_[qw]);
+      queued_bits_[qw] &= queued_bits_[qw] - 1u;
+      const knode n = static_cast<knode>(qw * 64u + lowest);
+      ++gates_visited_;
+      const auto& fis = net.fanins(n);
+      uint64_t lut_index = 0;
+      for (std::size_t i = 0; i < fis.size(); ++i) {
+        lut_index |= ((wb[fis[i]] >> shift) & 1u) << i;
+      }
+      const bool v = net.table(n).bit(lut_index);
+      if (v != (base_[n] != 0u)) {
+        // Deviates from the padding default: record the bit and disturb
+        // the fanout cone.  Otherwise the default bit is already
+        // correct and propagation stops here.
+        if (v) {
+          wb[n] |= bit;
+        } else {
+          wb[n] &= ~bit;
+        }
+        push_fanouts(n);
+      }
+    }
+  }
+  scan_baseline_ += needed_count_;
+}
+
+uint64_t ce_simulator::node_word(const net::aig_network& aig, net::node n,
+                                 const sim::pattern_set& patterns,
+                                 std::size_t word) const
+{
+  if (aig.is_constant(n)) {
+    return 0u;
+  }
+  if (aig.is_pi(n)) {
+    return patterns.input_bits(n - 1u)[word];
+  }
+  const knode m = collapsed_.node_map[conv_.node_map[n]];
+  return csig_.word(m, word);
+}
+
+void ce_simulator::simulate_word(const sim::pattern_set& patterns,
+                                 std::size_t word)
+{
+  auto& net = collapsed_.net;
+  uint64_t* const wb = csig_.tail_word(word).data();
+  wb[0] = 0u;
+  wb[1] = ~uint64_t{0};
+  net.foreach_pi(
+      [&](knode n) { wb[n] = patterns.input_bits(n - 2u)[word]; });
+  std::vector<uint64_t> ins;
+  net.foreach_gate([&](knode n) {
+    if (!needed_[n]) {
+      return;
+    }
+    const auto& fis = net.fanins(n);
+    ins.resize(fis.size());
+    for (std::size_t i = 0; i < fis.size(); ++i) {
+      ins[i] = wb[fis[i]];
+    }
+    wb[n] = core::stp_evaluate_word(net.table(n), ins, scratch_);
+  });
+}
+
+} // namespace stps::sweep

@@ -1,0 +1,101 @@
+/// \file ce_simulator.hpp
+/// \brief Output-sensitive counter-example simulation on the collapsed
+/// k-LUT view of the AIG (§III-B, §IV-A).
+///
+/// Built once per sweep — merges preserve node functions, so the
+/// snapshot stays valid.  Counter-examples are absorbed one bit at a
+/// time by `add_ce`, which is *fanout-driven*: a worklist seeded from
+/// the PIs the CE actually flips away from the all-zero padding walks
+/// forward along the k-LUT network's static fanout lists and stops
+/// wherever a gate's bit lands back on its *padding default* (its value
+/// under the all-zero assignment).  Cost is therefore proportional to
+/// the cone the CE disturbs — not to the full needed-gate set, which the
+/// previous implementation scanned per CE regardless of how local the
+/// flip was.
+///
+/// The worklist is a dense bitset over node ids: pushing sets a bit
+/// (idempotent, no dedup bookkeeping), and the drain scans words in
+/// increasing id order, so every gate is evaluated after all its
+/// disturbed fanins settled, exactly once — ids are topological.
+/// Draining clears exactly the bits it set, so the bitset is all-zero
+/// between CEs and absorbing a CE performs no allocation and no
+/// network-sized clear.  The signature store is kept fully word-major
+/// (every word a tail block), putting all of one CE's reads and writes
+/// in a single contiguous `size()`-word block.
+///
+/// Tail bits at positions ≥ num_patterns hold exactly those padding
+/// defaults — which is also what full-word STP evaluation of zero-padded
+/// pattern words produces — so clean cones need no work at all.  Every
+/// consumer masks the open word with sim::tail_mask, so the padding is
+/// never observable.
+#pragma once
+
+#include "core/stp_eval.hpp"
+#include "cut/tree_cuts.hpp"
+#include "network/aig.hpp"
+#include "network/convert.hpp"
+#include "sim/patterns.hpp"
+#include "sim/signature_store.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace stps::sweep {
+
+class ce_simulator
+{
+public:
+  using knode = net::klut_network::node;
+
+  /// Converts \p aig to a k-LUT network, collapses it to tree cuts that
+  /// keep \p target_gates observable, restricts evaluation to the
+  /// targets' cones, and simulates all of \p patterns.
+  void build(const net::aig_network& aig,
+             std::span<const net::node> target_gates, uint32_t collapse_limit,
+             const sim::pattern_set& patterns);
+
+  /// Absorbs the newest pattern (already appended to \p patterns) by
+  /// propagating its single bit through the disturbed cone only.
+  void add_ce(const sim::pattern_set& patterns, const std::vector<bool>& ce);
+
+  /// Signature word of an original AIG node (constant, PI, or target).
+  uint64_t node_word(const net::aig_network& aig, net::node n,
+                     const sim::pattern_set& patterns,
+                     std::size_t word) const;
+
+  /// \name Output-sensitivity counters
+  /// \{
+  /// Gates the fanout-driven worklist actually evaluated, over all
+  /// `add_ce` calls.
+  uint64_t ce_gates_visited() const noexcept { return gates_visited_; }
+  /// Gates the input-insensitive needed-set scan would have evaluated:
+  /// `needed_gate_count() * (number of add_ce calls)`.
+  uint64_t ce_gates_scan_baseline() const noexcept { return scan_baseline_; }
+  /// Needed gates in the collapsed view (the per-CE scan cost replaced).
+  std::size_t needed_gate_count() const noexcept { return needed_count_; }
+  /// \}
+
+private:
+  /// Full-word STP pass (initial simulation at build time only).
+  void simulate_word(const sim::pattern_set& patterns, std::size_t word);
+  /// Opens tail word \p word with every node's padding default.
+  void open_word(std::size_t word);
+
+  net::aig_to_klut_result conv_;
+  cut::collapse_result collapsed_;
+  std::vector<uint8_t> needed_;
+  std::vector<uint8_t> base_; ///< padding default per node
+  std::size_t needed_count_ = 0;
+  sim::signature_store csig_; ///< fully word-major (base_words == 0)
+  core::stp_scratch scratch_;
+
+  /// Worklist bitset over node ids; all-zero between add_ce calls (the
+  /// drain clears exactly the bits pushes set).
+  std::vector<uint64_t> queued_bits_;
+
+  uint64_t gates_visited_ = 0;
+  uint64_t scan_baseline_ = 0;
+};
+
+} // namespace stps::sweep

@@ -12,6 +12,12 @@
 /// new simulation words (counter-examples) or by exact resolution.
 /// Class ids are never reused, so a split class keeps its id for the
 /// group containing its lowest member and fresh ids for the rest.
+///
+/// All partitioning (the initial build and every split) runs through one
+/// dense, epoch-stamped open-addressing core owned by the instance: the
+/// scratch tables are allocated once and revalidated by bumping a stamp,
+/// so the per-counter-example refinement hot path performs no heap
+/// allocation unless a class actually splits.
 #pragma once
 
 #include "network/aig.hpp"
@@ -90,10 +96,41 @@ private:
   uint32_t new_class(std::vector<net::node> nodes);
   void dissolve_if_singleton(uint32_t c);
 
+  /// Assigns `group_of_[i]` (groups numbered by first occurrence, so the
+  /// group of element 0 is group 0) for `count` elements keyed by
+  /// `keys_[i]`, via the epoch-stamped open-addressed scratch table.
+  /// Returns the number of distinct groups.
+  uint32_t partition_by_scratch_keys(std::size_t count);
+  /// Grows the scratch table to hold \p count keys and invalidates every
+  /// slot (amortized; no work when already large enough).
+  void prepare_scratch(std::size_t count);
+  /// Splits class \p c into the groups recorded in `group_of_`
+  /// (`num_groups >= 2`); group 0 keeps id \p c.  Appends fresh ids to
+  /// \p created_ids when non-null; returns the number of classes created.
+  std::size_t apply_partition(uint32_t c, uint32_t num_groups,
+                              std::vector<uint32_t>* created_ids);
+
   std::vector<std::vector<net::node>> classes_;
   std::vector<uint32_t> class_id_;
   std::vector<bool> phase_;
   std::size_t live_classes_ = 0;
+
+  // Dense partition scratch: one open-addressed table (key, group,
+  // validity stamp per slot) plus per-element key/group buffers and a
+  // counting-sort gather buffer, all reused across refinements.
+  std::vector<uint64_t> slot_key_;
+  std::vector<uint32_t> slot_group_;
+  std::vector<uint32_t> slot_stamp_;
+  uint32_t stamp_ = 0;
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> group_of_;
+  /// Per group: gather offset (apply_partition) or representative
+  /// element index (build).
+  std::vector<uint32_t> group_first_;
+  std::vector<uint32_t> group_size_;
+  std::vector<uint32_t> group_cursor_;
+  std::vector<net::node> gather_;
+  std::vector<net::node> sorted_;
 };
 
 } // namespace stps::sweep

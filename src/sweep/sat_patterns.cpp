@@ -17,13 +17,15 @@ double seconds_since(clock_type::time_point start)
 }
 
 /// Number of ones in a signature, respecting the pattern tail.
-uint64_t ones_count(std::span<const uint64_t> sig)
+/// Word-at-a-time access stays valid after witness words were appended
+/// to the store (word-major tails).
+uint64_t ones_count(const sim::signature_store& sig, net::node n)
 {
-  uint64_t n = 0;
-  for (const uint64_t w : sig) {
-    n += std::popcount(w);
+  uint64_t count = 0;
+  for (std::size_t w = 0; w < sig.num_words(); ++w) {
+    count += std::popcount(sig.word(n, w));
   }
-  return n;
+  return count;
 }
 
 } // namespace
@@ -37,22 +39,35 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
       aig.num_pis(), config.base_patterns, config.seed);
 
   std::vector<bool> proven(aig.size(), false);
-  // Witnesses collected per round and bulk-appended (one capacity grow).
-  std::vector<std::vector<bool>> round_witnesses;
+
+  // Witnesses are re-simulated *incrementally* (one appended word) the
+  // moment SAT hands them back, so every later candidate checks against
+  // up-to-date signatures.  Near-constant gates are strongly correlated
+  // — one witness typically toggles many of them at once — and with
+  // stale signatures each used to cost its own satisfiable SAT query.
+  auto t_sim = clock_type::now();
+  sim::signature_store sig = sim::simulate_aig(aig, result.patterns);
+  result.sim_seconds += seconds_since(t_sim);
+  const auto absorb_witness = [&](const std::vector<bool>& witness) {
+    const auto t_ce = clock_type::now();
+    result.patterns.add_pattern(witness);
+    sim::resimulate_aig_last_word(aig, result.patterns, sig);
+    result.sim_seconds += seconds_since(t_ce);
+    ++result.patterns_added;
+  };
 
   // ---- Round 1: eliminate false constant candidates. -------------------
+  // Incremental absorption makes one pass converge: a second iteration
+  // would find every signature already current (the loop remains for
+  // configs that cap witnesses below convergence).
   for (uint32_t iter = 0; iter < config.round1_iterations; ++iter) {
-    auto t_sim = clock_type::now();
-    const sim::signature_store sig = sim::simulate_aig(aig, result.patterns);
-    result.sim_seconds += seconds_since(t_sim);
-    const uint64_t total = result.patterns.num_patterns();
-    round_witnesses.clear();
+    bool any_witness = false;
     aig.foreach_gate([&](net::node n) {
       if (proven[n]) {
         return;
       }
-      const uint64_t ones = ones_count(sig.row(n));
-      if (ones != 0u && ones != total) {
+      const uint64_t ones = ones_count(sig, n);
+      if (ones != 0u && ones != result.patterns.num_patterns()) {
         return; // signature already toggles
       }
       const bool looks_constant = ones != 0u;
@@ -65,31 +80,26 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
       result.sat_seconds += seconds_since(t_sat);
       if (r == sat::result::sat) {
         ++result.satisfiable_calls;
-        round_witnesses.push_back(encoder.model_inputs());
-        ++result.patterns_added;
+        absorb_witness(encoder.model_inputs());
+        any_witness = true;
       } else if (r == sat::result::unsat) {
         proven[n] = true;
         result.proven_constants.emplace_back(n, looks_constant);
       }
     });
-    if (round_witnesses.empty()) {
+    if (!any_witness) {
       break;
     }
-    result.patterns.add_patterns(round_witnesses);
   }
 
   // ---- Round 2: break up near-constant signatures. ----------------------
-  auto t_sim = clock_type::now();
-  const sim::signature_store sig = sim::simulate_aig(aig, result.patterns);
-  result.sim_seconds += seconds_since(t_sim);
-  const uint64_t total = result.patterns.num_patterns();
   std::size_t queries = 0;
-  round_witnesses.clear();
   aig.foreach_gate([&](net::node n) {
     if (proven[n] || queries >= config.max_round2_queries) {
       return;
     }
-    const uint64_t ones = ones_count(sig.row(n));
+    const uint64_t total = result.patterns.num_patterns();
+    const uint64_t ones = ones_count(sig, n);
     const bool few_ones = ones != 0u && ones <= config.round2_ones_threshold;
     const bool few_zeros =
         ones != total && total - ones <= config.round2_ones_threshold;
@@ -104,11 +114,9 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
     result.sat_seconds += seconds_since(t_sat);
     if (witness.has_value()) {
       ++result.satisfiable_calls;
-      round_witnesses.push_back(*witness);
-      ++result.patterns_added;
+      absorb_witness(*witness);
     }
   });
-  result.patterns.add_patterns(round_witnesses);
 
   return result;
 }

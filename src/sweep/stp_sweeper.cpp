@@ -1,20 +1,15 @@
 #include "sweep/stp_sweeper.hpp"
 
-#include "core/stp_eval.hpp"
 #include "core/stp_simulator.hpp"
-#include "cut/cuts.hpp"
-#include "cut/tree_cuts.hpp"
-#include "network/convert.hpp"
 #include "network/traversal.hpp"
 #include "sat/encoder.hpp"
 #include "sim/bitwise_sim.hpp"
+#include "sweep/ce_simulator.hpp"
 #include "sweep/equiv_classes.hpp"
 #include "sweep/tfi_manager.hpp"
-#include "tt/operations.hpp"
 
 #include <algorithm>
 #include <chrono>
-#include <map>
 #include <unordered_map>
 
 namespace stps::sweep {
@@ -22,179 +17,152 @@ namespace stps::sweep {
 namespace {
 
 using clock_type = std::chrono::steady_clock;
-using knode = net::klut_network::node;
 
 double seconds_since(clock_type::time_point start)
 {
   return std::chrono::duration<double>(clock_type::now() - start).count();
 }
 
-/// Incremental counter-example simulation on the tree-cut-collapsed
-/// k-LUT view of the AIG (§IV-A: "convert nodes not within equivalence
-/// classes into k-LUTs, and then simulate candidate nodes").  Built once
-/// — merges preserve node functions, so the snapshot stays valid.
+/// Exact window resolution by one word-parallel exhaustive simulation
+/// over the *union* cone of a class (§IV-A, "< 16 leaves").
 ///
-/// Counter-examples are absorbed one bit at a time by `add_ce`, which is
-/// *event-driven*: the pass evaluates only gates whose cones are
-/// reachable from inputs the CE actually flips away from the all-zero
-/// padding, and stops propagating wherever a gate's bit lands back on
-/// its *padding default* (its value under the all-zero assignment).
-/// Tail bits at positions ≥ num_patterns hold exactly those padding
-/// defaults — which is also what full-word STP evaluation of zero-padded
-/// pattern words produces — so clean cones need no work at all.  Every
-/// consumer masks the open word with sim::tail_mask, so the padding is
-/// never observable.
-class ce_simulator
+/// The previous implementation composed a full truth table per member
+/// (`cut::cut_function`), re-walking the shared cone once per member and
+/// allocating up-to-2^15-bit tables along the way.  Simulating the union
+/// cone once — 64 exhaustive patterns per word, every member read off
+/// the same pass — pays the cone cost a single time and allocates
+/// nothing beyond reusable scratch.  Two members get equal keys iff
+/// their phase-normalized exhaustive signatures (= truth tables over the
+/// window leaves, leaf i = variable i) are identical, exactly as before.
+class window_resolver
 {
 public:
-  void build(const net::aig_network& aig,
-             std::span<const net::node> target_gates, uint32_t collapse_limit,
-             const sim::pattern_set& patterns)
+  void attach(const net::aig_network& aig)
   {
-    conv_ = net::aig_to_klut(aig);
-    std::vector<knode> targets;
-    targets.reserve(target_gates.size());
-    for (const net::node n : target_gates) {
-      targets.push_back(conv_.node_map[n]);
-    }
-    collapsed_ = cut::collapse_to_cuts(conv_.klut, targets, collapse_limit);
+    mark_.assign(aig.size(), 0u);
+    index_.assign(aig.size(), 0u);
+    epoch_ = 0;
+  }
 
-    // Restrict evaluation to the targets' cones.
-    auto& net = collapsed_.net;
-    needed_.assign(net.size(), 0u);
-    std::vector<knode> frontier;
-    for (const knode t : targets) {
-      const knode m = collapsed_.node_map[t];
-      if (net.is_gate(m) && !needed_[m]) {
-        needed_[m] = 1u;
-        frontier.push_back(m);
+  /// Fills \p keys with group ids: keys[i] == keys[j] iff members i and
+  /// j implement the same function over \p leaves up to their phases.
+  void group_keys(const net::aig_network& aig, const equiv_classes& classes,
+                  std::span<const net::node> members,
+                  std::span<const net::node> leaves,
+                  std::vector<uint64_t>& keys)
+  {
+    if (++epoch_ == 0u) {
+      std::fill(mark_.begin(), mark_.end(), 0u);
+      epoch_ = 1u;
+    }
+    const uint32_t k = static_cast<uint32_t>(leaves.size());
+    for (uint32_t i = 0; i < k; ++i) {
+      mark_[leaves[i]] = epoch_;
+      index_[leaves[i]] = i;
+    }
+
+    // Union cone: every gate between the members and the leaves, each
+    // visited once no matter how many members share it.
+    cone_.clear();
+    stack_.clear();
+    const auto discover = [&](net::node n) {
+      if (!aig.is_constant(n) && mark_[n] != epoch_) {
+        mark_[n] = epoch_;
+        cone_.push_back(n);
+        stack_.push_back(n);
+      }
+    };
+    for (const net::node m : members) {
+      discover(m);
+    }
+    while (!stack_.empty()) {
+      const net::node n = stack_.back();
+      stack_.pop_back();
+      discover(aig.fanin0(n).get_node());
+      discover(aig.fanin1(n).get_node());
+    }
+    // Ids are topological; remove the leaves we re-discovered (they were
+    // marked before the DFS, so only gates landed in cone_).
+    std::sort(cone_.begin(), cone_.end());
+    for (std::size_t i = 0; i < cone_.size(); ++i) {
+      index_[cone_[i]] = static_cast<uint32_t>(i) + k;
+    }
+
+    const std::size_t nw = k > 6u ? std::size_t{1} << (k - 6u) : 1u;
+    const uint64_t valid =
+        k < 6u ? (uint64_t{1} << (uint64_t{1} << k)) - 1u : ~uint64_t{0};
+    cur_.resize(k + cone_.size());
+    sigs_.resize(members.size() * nw);
+
+    for (std::size_t w = 0; w < nw; ++w) {
+      for (uint32_t i = 0; i < k; ++i) {
+        cur_[i] = leaf_word(i, w);
+      }
+      const auto value = [&](net::signal s) {
+        const net::node x = s.get_node();
+        const uint64_t v = aig.is_constant(x) ? 0u : cur_[index_[x]];
+        return s.is_complemented() ? ~v : v;
+      };
+      for (std::size_t i = 0; i < cone_.size(); ++i) {
+        const net::node n = cone_[i];
+        cur_[k + i] = value(aig.fanin0(n)) & value(aig.fanin1(n));
+      }
+      for (std::size_t mi = 0; mi < members.size(); ++mi) {
+        const net::node m = members[mi];
+        uint64_t v = aig.is_constant(m) ? 0u : cur_[index_[m]];
+        v ^= classes.phase(m) ? ~uint64_t{0} : 0u;
+        sigs_[mi * nw + w] = v & valid;
       }
     }
-    for (std::size_t i = 0; i < frontier.size(); ++i) {
-      for (const knode f : net.fanins(frontier[i])) {
-        if (net.is_gate(f) && !needed_[f]) {
-          needed_[f] = 1u;
-          frontier.push_back(f);
+
+    // Exact grouping: hash, then verify against the group representative.
+    keys.assign(members.size(), 0u);
+    group_hash_.clear();
+    group_rep_.clear();
+    for (std::size_t mi = 0; mi < members.size(); ++mi) {
+      const uint64_t* row = sigs_.data() + mi * nw;
+      uint64_t h = 1469598103934665603ull;
+      for (std::size_t w = 0; w < nw; ++w) {
+        h ^= row[w];
+        h *= 1099511628211ull;
+      }
+      uint64_t group = group_hash_.size();
+      for (std::size_t g = 0; g < group_hash_.size(); ++g) {
+        if (group_hash_[g] == h &&
+            std::equal(row, row + nw, sigs_.data() + group_rep_[g] * nw)) {
+          group = g;
+          break;
         }
       }
+      if (group == group_hash_.size()) {
+        group_hash_.push_back(h);
+        group_rep_.push_back(mi);
+      }
+      keys[mi] = group;
     }
-
-    scratch_.reserve(net.max_fanin_size());
-    csig_.reset(net.size(), patterns.num_words());
-    for (std::size_t w = 0; w < patterns.num_words(); ++w) {
-      simulate_word(patterns, w);
-    }
-
-    // Padding defaults: each node's value under the all-zero assignment.
-    base_.assign(net.size(), 0u);
-    base_[1] = 1u;
-    net.foreach_gate([&](knode n) {
-      if (!needed_[n]) {
-        return;
-      }
-      const auto& fis = net.fanins(n);
-      uint64_t index = 0;
-      for (std::size_t i = 0; i < fis.size(); ++i) {
-        index |= uint64_t{base_[fis[i]]} << i;
-      }
-      base_[n] = net.table(n).bit(index) ? 1u : 0u;
-    });
-    deviates_.assign(net.size(), 0u);
-  }
-
-  /// Absorbs the newest pattern (already appended to \p patterns) by
-  /// propagating its single bit through the dirty cones only.
-  void add_ce(const sim::pattern_set& patterns, const std::vector<bool>& ce)
-  {
-    const uint64_t index = patterns.num_patterns() - 1u;
-    const std::size_t word = index >> 6u;
-    const uint64_t bit = uint64_t{1} << (index & 63u);
-    auto& net = collapsed_.net;
-    if (csig_.num_words() <= word) {
-      // Open a fresh word holding every node's padding default.
-      csig_.append_word();
-      for (std::size_t n = 0; n < net.size(); ++n) {
-        csig_.word(n, word) = base_[n] ? ~uint64_t{0} : 0u;
-      }
-    }
-    std::fill(deviates_.begin(), deviates_.end(), 0u);
-    net.foreach_pi([&](knode n) {
-      if (ce[n - 2u]) {
-        csig_.word(n, word) |= bit;
-        deviates_[n] = 1u;
-      }
-    });
-    const uint64_t shift = index & 63u;
-    net.foreach_gate([&](knode n) {
-      if (!needed_[n]) {
-        return;
-      }
-      const auto& fis = net.fanins(n);
-      bool dirty = false;
-      for (const knode f : fis) {
-        dirty = dirty || deviates_[f] != 0u;
-      }
-      if (!dirty) {
-        return; // bit stays at the padding default
-      }
-      uint64_t lut_index = 0;
-      for (std::size_t i = 0; i < fis.size(); ++i) {
-        lut_index |= ((csig_.word(fis[i], word) >> shift) & 1u) << i;
-      }
-      const bool v = net.table(n).bit(lut_index);
-      if (v) {
-        csig_.word(n, word) |= bit;
-      } else {
-        csig_.word(n, word) &= ~bit;
-      }
-      deviates_[n] = v != (base_[n] != 0u) ? 1u : 0u;
-    });
-  }
-
-  /// Signature word of an original AIG node (constant, PI, or target).
-  uint64_t node_word(const net::aig_network& aig, net::node n,
-                     const sim::pattern_set& patterns, std::size_t word) const
-  {
-    if (aig.is_constant(n)) {
-      return 0u;
-    }
-    if (aig.is_pi(n)) {
-      return patterns.input_bits(n - 1u)[word];
-    }
-    const knode m = collapsed_.node_map[conv_.node_map[n]];
-    return csig_.word(m, word);
   }
 
 private:
-  /// Full-word STP pass (initial simulation at build time only).
-  void simulate_word(const sim::pattern_set& patterns, std::size_t word)
+  static uint64_t leaf_word(uint32_t var, std::size_t w)
   {
-    auto& net = collapsed_.net;
-    csig_.word(0u, word) = 0u;
-    csig_.word(1u, word) = ~uint64_t{0};
-    net.foreach_pi(
-        [&](knode n) { csig_.word(n, word) = patterns.input_bits(n - 2u)[word]; });
-    std::vector<uint64_t> ins;
-    net.foreach_gate([&](knode n) {
-      if (!needed_[n]) {
-        return;
-      }
-      const auto& fis = net.fanins(n);
-      ins.resize(fis.size());
-      for (std::size_t i = 0; i < fis.size(); ++i) {
-        ins[i] = csig_.word(fis[i], word);
-      }
-      csig_.word(n, word) = core::stp_evaluate_word(net.table(n), ins, scratch_);
-    });
+    static constexpr uint64_t masks[6] = {
+        0xaaaaaaaaaaaaaaaaull, 0xccccccccccccccccull, 0xf0f0f0f0f0f0f0f0ull,
+        0xff00ff00ff00ff00ull, 0xffff0000ffff0000ull, 0xffffffff00000000ull};
+    if (var < 6u) {
+      return masks[var];
+    }
+    return (w >> (var - 6u)) & 1u ? ~uint64_t{0} : 0u;
   }
 
-  net::aig_to_klut_result conv_;
-  cut::collapse_result collapsed_;
-  std::vector<uint8_t> needed_;
-  std::vector<uint8_t> base_;     ///< padding default per node
-  std::vector<uint8_t> deviates_; ///< per-CE scratch: bit != default
-  sim::signature_store csig_;
-  core::stp_scratch scratch_;
+  std::vector<uint32_t> mark_;  ///< epoch stamps (leaf or cone membership)
+  std::vector<uint32_t> index_; ///< leaf position / cone slot per node
+  uint32_t epoch_ = 0;
+  std::vector<net::node> cone_;
+  std::vector<net::node> stack_;
+  std::vector<uint64_t> cur_;  ///< current word: leaves then cone gates
+  std::vector<uint64_t> sigs_; ///< member signatures, member-major
+  std::vector<uint64_t> group_hash_;
+  std::vector<std::size_t> group_rep_;
 };
 
 } // namespace
@@ -210,10 +178,18 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   sat::aig_encoder encoder{aig, solver};
 
   // ---- Initial patterns (Alg. 2 line 2) + constant propagation (line 3).
+  // The per-round simulation budget scales with the gate count (capped at
+  // guided.base_patterns), so tiny instances stop over-investing in
+  // simulation.
+  guided_pattern_config guided_config = params.guided;
+  guided_config.base_patterns =
+      params.effective_pattern_budget(aig.num_gates());
+  guided_config.max_round2_queries =
+      params.effective_round2_queries(aig.num_gates());
   sim::pattern_set patterns;
   if (params.use_guided_patterns) {
     guided_pattern_result guided = sat_guided_patterns(aig, encoder,
-                                                       params.guided);
+                                                       guided_config);
     patterns = std::move(guided.patterns);
     stats.sat_calls_total += guided.sat_calls;
     stats.sim_seconds += guided.sim_seconds;
@@ -227,7 +203,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
     }
   } else {
     patterns = sim::pattern_set::random(
-        aig.num_pis(), params.guided.base_patterns, params.guided.seed);
+        aig.num_pis(), guided_config.base_patterns, guided_config.seed);
   }
 
   // ---- Initial STP simulation and equivalence classes (line 3). --------
@@ -319,8 +295,11 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
 
   // ---- Window resolution cache: class id → (size when checked, exact).
   std::unordered_map<uint32_t, std::pair<std::size_t, bool>> resolve_cache;
+  window_resolver resolver;
+  resolver.attach(aig);
   std::vector<net::node> support_scratch;
   std::vector<net::node> resolve_members_scratch;
+  std::vector<uint64_t> resolve_keys_scratch;
   const auto maybe_resolve = [&](uint32_t c) -> bool {
     if (!params.use_window_resolution || c == equiv_classes::no_class) {
       return false;
@@ -335,27 +314,15 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       resolve_cache[c] = {members.size(), false};
       return false;
     }
-    // Exhaustive STP simulation over the window: exact functions of all
+    // Exhaustive simulation over the window: exact functions of all
     // members over the common support decide the class once and for all.
+    // One word-parallel pass over the members' union cone serves every
+    // member (window_resolver above).
     const auto t_win = clock_type::now();
-    const cut::cut_t window{support_scratch};
-    std::map<tt::truth_table, uint64_t> groups;
-    std::vector<uint64_t> keys;
-    keys.reserve(members.size());
     resolve_members_scratch.assign(members.begin(), members.end());
-    for (const net::node m : resolve_members_scratch) {
-      tt::truth_table f =
-          aig.is_constant(m)
-              ? tt::make_const0(
-                    static_cast<uint32_t>(window.leaves.size()))
-              : cut::cut_function(aig, m, window);
-      if (classes.phase(m)) {
-        f = tt::unary_not(f);
-      }
-      const auto [it, inserted] = groups.emplace(std::move(f), groups.size());
-      keys.push_back(it->second);
-    }
-    classes.split_by_keys(c, keys);
+    resolver.group_keys(aig, classes, resolve_members_scratch,
+                        support_scratch, resolve_keys_scratch);
+    classes.split_by_keys(c, resolve_keys_scratch);
     // Every surviving sub-class is exact now — and, having just been
     // derived from the freshly refined parent, already up to date.
     const uint64_t applied_count = patterns.num_patterns();
@@ -481,14 +448,10 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
         patterns.add_pattern(ce);
         cesim.add_ce(patterns, ce);
         if (!params.use_batched_ce_refinement) {
-          // Ablation: eager per-CE refinement (the seed's behavior).
-          const std::size_t last = patterns.num_words() - 1u;
-          for (uint32_t cid = 0; cid < classes.num_class_ids(); ++cid) {
-            sync_member_rows(classes.members(cid));
-          }
-          classes.refine_with_word(
-              sig, last, sim::tail_mask(patterns.num_patterns()));
-          applied_global = patterns.num_patterns();
+          // Ablation: eager per-CE refinement (the seed's behavior),
+          // through the same sync + dense-refinement path as the
+          // batched flush so the two modes cannot drift.
+          refine_all_classes();
         }
       } else {
         patterns.add_pattern(ce);
@@ -503,6 +466,10 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
 
   aig.cleanup_dangling();
   stats.gates_after = aig.num_gates();
+  if (params.use_collapsed_ce_simulation) {
+    stats.ce_gates_visited = cesim.ce_gates_visited();
+    stats.ce_gates_scan_baseline = cesim.ce_gates_scan_baseline();
+  }
   stats.total_seconds = seconds_since(t_total);
   return stats;
 }

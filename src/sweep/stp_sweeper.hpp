@@ -13,27 +13,36 @@
 /// 3. **TFI-bounded driver selection** (lines 12-17; limit n = 1000).
 /// 4. **Exhaustive window resolution**: a class whose members' combined
 ///    support fits in a window (< 16 leaves) is resolved *exactly* by
-///    STP simulation over exhaustive patterns — remaining members are
-///    provably equivalent and merge without any SAT call, and false
-///    members are split away without producing counter-examples.
+///    word-parallel simulation of exhaustive patterns over the members'
+///    *union* cone (one shared pass, no truth-table composition) —
+///    remaining members are provably equivalent and merge without any
+///    SAT call, and false members are split away without producing
+///    counter-examples.
 /// 5. **STP counter-example simulation**: when SAT does return a CE, only
 ///    nodes in equivalence classes are re-simulated, on a k-LUT network
-///    collapsed with the tree-cut algorithm (§III-B) — not the whole AIG.
+///    collapsed with the tree-cut algorithm (§III-B) — not the whole
+///    AIG.  Absorbing one CE is *output-sensitive*: a fanout-driven
+///    bitset worklist (sweep/ce_simulator.hpp) touches only the cone the
+///    CE disturbs.
 /// 6. **unDET handling**: budget-exhausted queries mark the candidate
 ///    don't-touch (lines 19-21).
 /// 7. **Batched counter-example refinement** (classic FRAIG batching):
-///    CE bits are buffered into the open tail word by an event-driven
+///    CE bits are buffered into the open tail word by the event-driven
 ///    single-bit pass, and classes are re-partitioned lazily — the
 ///    current candidate's class when it needs the fresh bits to make
 ///    progress, any other class when the loop advances to it, and all
 ///    classes at once when the word fills with 64 CEs — instead of
 ///    paying a full-word re-simulation + global refinement per CE.
+/// 8. **Size-scaled budgets**: the initial pattern budget and the
+///    round-2 guided-query budget scale with gate count (capped), so
+///    small instances stop over-investing in simulation and guided SAT.
 #pragma once
 
 #include "network/aig.hpp"
 #include "sweep/sat_patterns.hpp"
 #include "sweep/sweep_stats.hpp"
 
+#include <algorithm>
 #include <cstdint>
 
 namespace stps::sweep {
@@ -47,13 +56,54 @@ struct stp_sweep_params
   /// Ablation: false reverts to eager one-CE-per-word refinement (every
   /// counter-example immediately refines every class).  Both settings
   /// produce the same merges and final network; batching only changes
-  /// when the partition work is paid.
+  /// when the partition work is paid — both run through the same dense
+  /// refinement core.
   bool use_batched_ce_refinement = true;
 
   int64_t conflict_budget = -1;  ///< equivalence queries; -1 = unlimited
   std::size_t tfi_limit = 1000;  ///< Alg. 2 line 1
   uint32_t window_max_support = 15; ///< "< 16 leaves" (§IV-A)
   uint32_t collapse_limit = 8;   ///< tree-cut leaf bound for CE windows
+
+  /// Per-round simulation budget scaling: tiny instances stop
+  /// over-investing in simulation.  The effective initial pattern count
+  /// is `guided.base_patterns` capped from below by scaling with the
+  /// gate count (`pattern_budget_per_mille` patterns per 1000 gates,
+  /// floored at `min_pattern_budget`, rounded up to a whole 64-pattern
+  /// word).  0 disables scaling and always uses `guided.base_patterns`.
+  uint32_t pattern_budget_per_mille = 250;
+  uint64_t min_pattern_budget = 128;
+  /// Round-2 guided queries (each adds one pattern) scale the same way:
+  /// small circuits have few false candidates to break up, and at the
+  /// seed's flat 512-query budget the guided SAT time exceeded what the
+  /// extra patterns saved.  Paper-scale instances still reach
+  /// `guided.max_round2_queries`.  0 disables scaling.
+  uint32_t round2_queries_per_mille = 16;
+  std::size_t min_round2_queries = 32;
+
+  /// Initial pattern count actually used for a circuit of
+  /// \p num_gates gates.
+  uint64_t effective_pattern_budget(uint64_t num_gates) const
+  {
+    if (pattern_budget_per_mille == 0u) {
+      return guided.base_patterns;
+    }
+    uint64_t want = num_gates * pattern_budget_per_mille / 1000u;
+    want = std::max(want, min_pattern_budget);
+    want = (want + 63u) / 64u * 64u;
+    return std::min(want, guided.base_patterns);
+  }
+
+  /// Round-2 guided-query budget for a circuit of \p num_gates gates.
+  std::size_t effective_round2_queries(uint64_t num_gates) const
+  {
+    if (round2_queries_per_mille == 0u) {
+      return guided.max_round2_queries;
+    }
+    const std::size_t want = std::max<std::size_t>(
+        min_round2_queries, num_gates * round2_queries_per_mille / 1000u);
+    return std::min(want, guided.max_round2_queries);
+  }
 };
 
 /// Sweeps \p aig in place; returns the Table II counters.

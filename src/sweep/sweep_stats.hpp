@@ -21,6 +21,12 @@ struct sweep_stats
   uint64_t dont_touch = 0;       ///< unDET-marked candidates
   uint64_t ce_patterns = 0;      ///< counter-examples simulated
 
+  /// Gates evaluated by fanout-driven CE propagation (output-sensitive).
+  uint64_t ce_gates_visited = 0;
+  /// Gates the input-insensitive needed-set scan would have evaluated
+  /// for the same counter-examples (needed gates × CE count).
+  uint64_t ce_gates_scan_baseline = 0;
+
   double sim_seconds = 0.0;   ///< "Simulation" (initial + CE)
   double sat_seconds = 0.0;
   double total_seconds = 0.0; ///< "Total runtime"

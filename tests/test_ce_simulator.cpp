@@ -1,0 +1,133 @@
+#include "sweep/ce_simulator.hpp"
+
+#include "gen/random_logic.hpp"
+#include "gen/redundancy.hpp"
+#include "sim/bitwise_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using namespace stps;
+
+/// Circuit + the target set the sweeper would watch (every live gate).
+struct fixture
+{
+  net::aig_network aig;
+  std::vector<net::node> targets;
+};
+
+fixture make_fixture(uint64_t seed, uint32_t gates = 600u)
+{
+  fixture f;
+  const auto base = gen::make_random_logic({14u, 10u, gates, seed, 25u});
+  f.aig = gen::inject_redundancy(base, {8u, 4u, seed});
+  f.aig.foreach_gate([&](net::node n) { f.targets.push_back(n); });
+  return f;
+}
+
+std::vector<bool> random_assignment(std::mt19937_64& rng, uint32_t num_pis,
+                                    double flip_probability)
+{
+  // Sparse flips model real counter-examples (close to the padding
+  // default); occasional dense ones stress deep propagation.
+  std::bernoulli_distribution flip{flip_probability};
+  std::vector<bool> ce(num_pis);
+  for (uint32_t i = 0; i < num_pis; ++i) {
+    ce[i] = flip(rng);
+  }
+  return ce;
+}
+
+TEST(CeSimulator, WorklistMatchesFullResimulationOnRandomCes)
+{
+  for (const uint64_t seed : {5u, 23u, 91u}) {
+    auto [aig, targets] = make_fixture(seed);
+    auto patterns = sim::pattern_set::random(aig.num_pis(), 200u, seed);
+
+    sweep::ce_simulator cesim;
+    cesim.build(aig, targets, 8u, patterns);
+
+    std::mt19937_64 rng{seed};
+    for (uint32_t i = 0; i < 150u; ++i) {
+      const double density = i % 10u == 9u ? 0.5 : 0.1;
+      const auto ce = random_assignment(rng, aig.num_pis(), density);
+      patterns.add_pattern(ce);
+      cesim.add_ce(patterns, ce);
+    }
+
+    // Full reference simulation over the final pattern set.
+    const auto reference = sim::simulate_aig(aig, patterns);
+    const uint64_t mask = sim::tail_mask(patterns.num_patterns());
+    for (const net::node n : targets) {
+      for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+        const uint64_t m = w + 1u == patterns.num_words() ? mask
+                                                          : ~uint64_t{0};
+        EXPECT_EQ(cesim.node_word(aig, n, patterns, w) & m,
+                  reference.word(n, w) & m)
+            << "seed " << seed << " node " << n << " word " << w;
+      }
+    }
+  }
+}
+
+TEST(CeSimulator, IncrementalAddCeMatchesRebuild)
+{
+  for (const uint64_t seed : {7u, 41u}) {
+    auto [aig, targets] = make_fixture(seed);
+    auto patterns = sim::pattern_set::random(aig.num_pis(), 190u, seed);
+
+    sweep::ce_simulator incremental;
+    incremental.build(aig, targets, 8u, patterns);
+
+    // Absorb 140 CEs one bit at a time — crossing two word boundaries.
+    std::mt19937_64 rng{seed * 77u};
+    for (uint32_t i = 0; i < 140u; ++i) {
+      const double density = i % 7u == 6u ? 0.4 : 0.08;
+      const auto ce = random_assignment(rng, aig.num_pis(), density);
+      patterns.add_pattern(ce);
+      incremental.add_ce(patterns, ce);
+    }
+
+    sweep::ce_simulator rebuilt;
+    rebuilt.build(aig, targets, 8u, patterns);
+    const uint64_t mask = sim::tail_mask(patterns.num_patterns());
+    for (const net::node n : targets) {
+      for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+        const uint64_t m = w + 1u == patterns.num_words() ? mask
+                                                          : ~uint64_t{0};
+        EXPECT_EQ(incremental.node_word(aig, n, patterns, w) & m,
+                  rebuilt.node_word(aig, n, patterns, w) & m)
+            << "seed " << seed << " node " << n << " word " << w;
+      }
+    }
+  }
+}
+
+TEST(CeSimulator, FanoutPropagationVisitsFewerGatesThanNeededScan)
+{
+  // The output-sensitivity pin: over a batch of realistic (sparse)
+  // counter-examples, the fanout-driven worklist must evaluate strictly
+  // fewer gates than the input-insensitive needed-set scan it replaced.
+  auto [aig, targets] = make_fixture(3u, 1000u);
+  auto patterns = sim::pattern_set::random(aig.num_pis(), 256u, 3u);
+
+  sweep::ce_simulator cesim;
+  cesim.build(aig, targets, 8u, patterns);
+  ASSERT_GT(cesim.needed_gate_count(), 0u);
+
+  std::mt19937_64 rng{1234u};
+  for (uint32_t i = 0; i < 100u; ++i) {
+    const auto ce = random_assignment(rng, aig.num_pis(), 0.15);
+    patterns.add_pattern(ce);
+    cesim.add_ce(patterns, ce);
+  }
+  EXPECT_EQ(cesim.ce_gates_scan_baseline(),
+            100u * cesim.needed_gate_count());
+  EXPECT_LT(cesim.ce_gates_visited(), cesim.ce_gates_scan_baseline());
+  EXPECT_GT(cesim.ce_gates_visited(), 0u);
+}
+
+} // namespace

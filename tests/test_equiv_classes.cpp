@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <random>
+
 namespace {
 
 using namespace stps;
@@ -175,6 +178,77 @@ TEST(EquivClasses, SplitByKeysAndRemoveMember)
   // n2 alone dissolves.
   EXPECT_EQ(classes.class_of(n2), equiv_classes::no_class);
   EXPECT_EQ(classes.num_classes(), 0u);
+}
+
+TEST(EquivClasses, DenseRefinementMatchesMapBasedReference)
+{
+  // The dense epoch-stamped partition core must produce exactly the
+  // partition an ordered-map grouping produces, on randomized classes,
+  // across several refinement rounds (so scratch reuse is exercised).
+  const auto aig = gen::make_random_logic({10u, 8u, 400u, 123u, 30u});
+  const auto patterns = sim::pattern_set::random(10u, 128u, 7u);
+  auto sig = sim::simulate_aig(aig, patterns);
+  equiv_classes classes;
+  classes.build(aig, sig);
+  ASSERT_GT(classes.num_classes(), 0u);
+
+  std::mt19937_64 rng{2024u};
+  std::uniform_int_distribution<uint64_t> pick(0u, 3u);
+  for (int round = 0; round < 6; ++round) {
+    sig.append_word();
+    const std::size_t w = sig.num_words() - 1u;
+    // Small value alphabet → classes split partially, not into dust.
+    for (std::size_t n = 0; n < sig.size(); ++n) {
+      sig.word(n, w) = pick(rng) * 0x9e3779b97f4a7c15ull;
+    }
+    const uint64_t mask = round % 2 == 0 ? ~uint64_t{0}
+                                         : 0xffff0000ffff0000ull;
+
+    // Reference partition per class, computed with an ordered map before
+    // refinement mutates anything.
+    std::vector<std::vector<std::vector<net::node>>> expected;
+    for (uint32_t c = 0; c < classes.num_class_ids(); ++c) {
+      const auto& members = classes.members(c);
+      if (members.size() < 2u) {
+        continue;
+      }
+      std::map<uint64_t, std::vector<net::node>> parts;
+      for (const net::node m : members) {
+        const uint64_t flip = classes.phase(m) ? ~uint64_t{0} : 0u;
+        parts[(sig.word(m, w) ^ flip) & mask].push_back(m);
+      }
+      auto& groups = expected.emplace_back();
+      for (auto& [key, part] : parts) {
+        groups.push_back(std::move(part));
+      }
+    }
+
+    classes.refine_with_word(sig, w, mask);
+
+    for (const auto& groups : expected) {
+      for (const auto& part : groups) {
+        if (groups.size() == 1u) {
+          // No split: the class must have stayed together.
+          for (const net::node m : part) {
+            EXPECT_EQ(classes.class_of(m), classes.class_of(part.front()));
+          }
+          EXPECT_NE(classes.class_of(part.front()), equiv_classes::no_class);
+          continue;
+        }
+        if (part.size() == 1u) {
+          EXPECT_EQ(classes.class_of(part.front()), equiv_classes::no_class)
+              << "singleton group must dissolve";
+          continue;
+        }
+        const uint32_t cid = classes.class_of(part.front());
+        ASSERT_NE(cid, equiv_classes::no_class);
+        EXPECT_EQ(classes.members(cid).size(), part.size());
+        for (const net::node m : part) {
+          EXPECT_EQ(classes.class_of(m), cid);
+        }
+      }
+    }
+  }
 }
 
 TEST(EquivClasses, CandidateCountsRealCircuit)
