@@ -27,6 +27,16 @@
 /// arithmetic + deeper random logic; see bench/README.md) where the
 /// STP-vs-fraig runtime claim can re-emerge; 0 (the default) keeps the
 /// original scaled-down suite only.
+///
+/// `--ablation` additionally sweeps every instance with the
+/// incremental-CNF and store-budget flags *off* (per-query scratch
+/// encoding, unbounded stores) and asserts the result-gate counts match
+/// the flags-on run exactly — the JSON gains an `stp_flags_off` object
+/// and an `ablation_match` field per row.
+///
+/// `--only <substr>` keeps only benchmarks whose name contains the
+/// substring (repeatable) — used for the committed `--scale 3` smoke
+/// rows.
 #include "gen/benchmarks.hpp"
 #include "network/traversal.hpp"
 #include "sweep/cec.hpp"
@@ -57,6 +67,9 @@ struct json_row
   uint32_t pis, pos, levels, gates, result_gates;
   stps::sweep::sweep_stats fraig, stp;
   bool verified;
+  bool have_flags_off = false;
+  stps::sweep::sweep_stats stp_flags_off;
+  bool ablation_match = false;
 };
 
 void write_engine_json(std::FILE* f, const char* key,
@@ -64,16 +77,37 @@ void write_engine_json(std::FILE* f, const char* key,
 {
   std::fprintf(f,
                "      \"%s\": {\"sat_calls_total\": %llu, "
-               "\"sat_calls_satisfiable\": %llu, \"merges\": %llu, "
-               "\"ce_gates_visited\": %llu, "
-               "\"ce_gates_scan_baseline\": %llu, "
-               "\"sim_seconds\": %.6f, \"sat_seconds\": %.6f, "
-               "\"total_seconds\": %.6f}",
+               "\"sat_calls_satisfiable\": %llu, \"merges\": %llu, ",
                key, static_cast<unsigned long long>(s.sat_calls_total),
                static_cast<unsigned long long>(s.sat_calls_satisfiable),
-               static_cast<unsigned long long>(s.merges),
-               static_cast<unsigned long long>(s.ce_gates_visited),
-               static_cast<unsigned long long>(s.ce_gates_scan_baseline),
+               static_cast<unsigned long long>(s.merges));
+  // CE-propagation counters exist only for engines running the collapsed
+  // CE simulator; other engines omit the keys entirely so ratio tooling
+  // cannot divide by a meaningless zero.
+  if (s.has_ce_counters) {
+    std::fprintf(f,
+                 "\"ce_gates_visited\": %llu, "
+                 "\"ce_gates_scan_baseline\": %llu, ",
+                 static_cast<unsigned long long>(s.ce_gates_visited),
+                 static_cast<unsigned long long>(s.ce_gates_scan_baseline));
+  }
+  std::fprintf(f,
+               "\"sat_nodes_encoded\": %llu, \"sat_solver_rebuilds\": %llu, "
+               "\"sat_clauses_peak\": %llu, ",
+               static_cast<unsigned long long>(s.sat_nodes_encoded),
+               static_cast<unsigned long long>(s.sat_solver_rebuilds),
+               static_cast<unsigned long long>(s.sat_clauses_peak));
+  if (s.has_store_counters) {
+    std::fprintf(f,
+                 "\"store_words_live\": %llu, \"store_words_trimmed\": %llu, "
+                 "\"store_peak_bytes\": %llu, ",
+                 static_cast<unsigned long long>(s.store_words_live),
+                 static_cast<unsigned long long>(s.store_words_trimmed),
+                 static_cast<unsigned long long>(s.store_peak_bytes));
+  }
+  std::fprintf(f,
+               "\"sim_seconds\": %.6f, \"sat_seconds\": %.6f, "
+               "\"total_seconds\": %.6f}",
                s.sim_seconds, s.sat_seconds, s.total_seconds);
 }
 
@@ -101,6 +135,12 @@ bool write_json(const std::string& path, uint64_t base_patterns,
     write_engine_json(f, "fraig", r.fraig);
     std::fprintf(f, ",\n");
     write_engine_json(f, "stp", r.stp);
+    if (r.have_flags_off) {
+      std::fprintf(f, ",\n");
+      write_engine_json(f, "stp_flags_off", r.stp_flags_off);
+      std::fprintf(f, ",\n      \"ablation_match\": %s",
+                   r.ablation_match ? "true" : "false");
+    }
     std::fprintf(f, "\n    }%s\n", i + 1u == rows.size() ? "" : ",");
     time_f.push_back(r.fraig.total_seconds);
     time_s.push_back(r.stp.total_seconds);
@@ -125,8 +165,17 @@ int main(int argc, char** argv)
   using namespace stps;
   uint64_t base_patterns = 1024u;
   uint32_t scale = 0;
+  bool ablation = false;
   std::string json_path;
-  for (int i = 1; i + 1 < argc; ++i) {
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ablation") == 0) {
+      ablation = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      continue;
+    }
     if (std::strcmp(argv[i], "--patterns") == 0) {
       base_patterns = std::stoull(argv[i + 1]);
     }
@@ -136,8 +185,22 @@ int main(int argc, char** argv)
     if (std::strcmp(argv[i], "--scale") == 0) {
       scale = static_cast<uint32_t>(std::stoul(argv[i + 1]));
     }
+    if (std::strcmp(argv[i], "--only") == 0) {
+      only.emplace_back(argv[i + 1]);
+    }
   }
   scale = std::min(scale, gen::max_sweep_scale); // keep recorded scale honest
+  const auto selected = [&](const std::string& name) {
+    if (only.empty()) {
+      return true;
+    }
+    for (const std::string& pat : only) {
+      if (name.find(pat) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
 
   std::printf("Table II: SAT sweeping, %llu initial patterns, scale %u "
               "(generated instances; see bench/README.md)\n\n",
@@ -154,6 +217,9 @@ int main(int argc, char** argv)
   std::vector<json_row> json_rows;
 
   for (const auto& name : gen::sweep_names(scale)) {
+    if (!selected(name)) {
+      continue;
+    }
     const net::aig_network original = gen::make_sweep_benchmark(name);
 
     net::aig_network by_fraig = original;
@@ -165,9 +231,26 @@ int main(int argc, char** argv)
     params.guided.base_patterns = base_patterns;
     const sweep::sweep_stats ss = sweep::stp_sweep(by_stp, params);
 
-    const bool ok =
+    bool ok =
         sweep::check_equivalence(original, by_fraig).equivalent &&
         sweep::check_equivalence(original, by_stp).equivalent;
+
+    // Ablation proof: flags off (per-query scratch CNF, unbounded
+    // stores) must land on exactly the same result network size, and be
+    // CEC-equivalent — the flags only change when work is paid.
+    sweep::sweep_stats as;
+    bool ablation_match = false;
+    if (ablation) {
+      net::aig_network by_stp_off = original;
+      sweep::stp_sweep_params off = params;
+      off.use_incremental_cnf = false;
+      off.sat_clause_budget = 0u;
+      off.store_word_budget = 0u;
+      as = sweep::stp_sweep(by_stp_off, off);
+      ablation_match = as.gates_after == ss.gates_after;
+      ok = ok && ablation_match &&
+           sweep::check_equivalence(original, by_stp_off).equivalent;
+    }
     all_verified = all_verified && ok;
 
     char pipo[32];
@@ -187,7 +270,7 @@ int main(int argc, char** argv)
 
     json_rows.push_back({name, original.num_pis(), original.num_pos(),
                          fs.levels_before, fs.gates_before, ss.gates_after,
-                         fs, ss, ok});
+                         fs, ss, ok, ablation, as, ablation_match});
     g_sat_f.push_back(static_cast<double>(fs.sat_calls_satisfiable) + 1.0);
     g_sat_s.push_back(static_cast<double>(ss.sat_calls_satisfiable) + 1.0);
     g_tot_f.push_back(static_cast<double>(fs.sat_calls_total) + 1.0);
@@ -200,6 +283,10 @@ int main(int argc, char** argv)
     g_result.push_back(ss.gates_after);
   }
 
+  if (json_rows.empty()) {
+    std::fprintf(stderr, "no benchmarks matched --only\n");
+    return 1;
+  }
   std::printf("\n%-13s gates %.0f -> %.0f (geo)\n", "Geo.",
               geomean(g_gate), geomean(g_result));
   std::printf("satisfiable SAT calls: %8.0f -> %8.0f   Imp. %.2f "

@@ -52,7 +52,13 @@ uint32_t decode_delta(std::istream& is)
     if (c < 0) {
       throw std::runtime_error{"aiger: truncated binary section"};
     }
-    value |= static_cast<uint32_t>(c & 0x7f) << shift;
+    const uint32_t chunk = static_cast<uint32_t>(c & 0x7f);
+    // Reject payload bits beyond 32 (6th byte, or high bits of the
+    // 5th): they would shift out silently and misparse the delta.
+    if (shift >= 32u || (shift > 0u && (chunk >> (32u - shift)) != 0u)) {
+      throw std::runtime_error{"aiger: delta overflows 32 bits"};
+    }
+    value |= chunk << shift;
     if ((c & 0x80) == 0) {
       return value;
     }
@@ -128,6 +134,11 @@ void write_aiger_binary(const net::aig_network& aig, std::ostream& os)
 net::aig_network read_aiger(std::istream& is)
 {
   const header h = read_header(is);
+  // Overflow-safe: each count is checked against what remains of m, so
+  // huge counts cannot wrap the sum back under m.
+  if (h.i > h.m || h.l > h.m - h.i || h.a > h.m - h.i - h.l) {
+    throw std::runtime_error{"aiger: header counts exceed maximum index"};
+  }
   net::aig_network aig;
 
   // signal per AIGER variable (latch outputs become PIs).
@@ -138,6 +149,24 @@ net::aig_network read_aiger(std::istream& is)
     }
     const net::signal s = var[lit / 2u];
     return (lit & 1u) ? !s : s;
+  };
+  // Definition literals (inputs, latch outputs, AND left-hand sides)
+  // index into `var` and must be validated *before* the write — a
+  // malformed file must throw, not scribble out of bounds.
+  const auto def_index = [&](uint64_t lit, const char* what) {
+    if (lit % 2u != 0u) {
+      throw std::runtime_error{std::string{"aiger: complemented "} + what};
+    }
+    if (lit / 2u == 0u || lit / 2u > h.m) {
+      throw std::runtime_error{std::string{"aiger: "} + what +
+                               " literal out of range"};
+    }
+    return lit / 2u;
+  };
+  const auto expect_good = [&]() {
+    if (!is) {
+      throw std::runtime_error{"aiger: truncated or malformed body"};
+    }
   };
 
   std::vector<uint64_t> output_lits;
@@ -155,12 +184,21 @@ net::aig_network read_aiger(std::istream& is)
     for (uint64_t o = 0; o < h.o; ++o) {
       std::string line;
       std::getline(is, line);
-      output_lits.push_back(std::stoull(line));
+      expect_good();
+      try {
+        output_lits.push_back(std::stoull(line));
+      } catch (const std::exception&) {
+        throw std::runtime_error{"aiger: malformed output literal '" + line +
+                                 "'"};
+      }
     }
     for (uint64_t a = 0; a < h.a; ++a) {
       const uint64_t lhs = 2u * (1u + h.i + h.l + a);
       const uint64_t delta0 = decode_delta(is);
       const uint64_t delta1 = decode_delta(is);
+      if (delta0 == 0u) { // rhs0 == lhs: the gate would read itself
+        throw std::runtime_error{"aiger: AND self-reference"};
+      }
       const uint64_t rhs0 = lhs - delta0;
       const uint64_t rhs1 = rhs0 - delta1;
       var[lhs / 2u] = aig.create_and(to_signal(rhs0), to_signal(rhs1));
@@ -169,28 +207,34 @@ net::aig_network read_aiger(std::istream& is)
     for (uint64_t i = 0; i < h.i; ++i) {
       uint64_t lit = 0;
       is >> lit;
-      if (lit % 2u != 0u) {
-        throw std::runtime_error{"aiger: complemented input"};
-      }
-      var[lit / 2u] = aig.create_pi();
+      expect_good();
+      var[def_index(lit, "input")] = aig.create_pi();
     }
     for (uint64_t l = 0; l < h.l; ++l) {
       uint64_t lit = 0, next = 0;
       is >> lit >> next;
-      var[lit / 2u] = aig.create_pi();
+      expect_good();
+      var[def_index(lit, "latch")] = aig.create_pi();
       latch_defs.emplace_back(lit, next);
     }
     for (uint64_t o = 0; o < h.o; ++o) {
       uint64_t lit = 0;
       is >> lit;
+      expect_good();
       output_lits.push_back(lit);
     }
     // ASCII AND definitions are topologically sorted (lhs > rhs), so one
-    // pass suffices.
+    // pass suffices — a forward reference would silently read the
+    // default constant-false signal, so it must be rejected.
     for (uint64_t a = 0; a < h.a; ++a) {
       uint64_t lhs = 0, rhs0 = 0, rhs1 = 0;
       is >> lhs >> rhs0 >> rhs1;
-      var[lhs / 2u] = aig.create_and(to_signal(rhs0), to_signal(rhs1));
+      expect_good();
+      if (rhs0 / 2u >= lhs / 2u || rhs1 / 2u >= lhs / 2u) {
+        throw std::runtime_error{"aiger: AND fanin not in topological order"};
+      }
+      var[def_index(lhs, "AND")] = aig.create_and(to_signal(rhs0),
+                                                  to_signal(rhs1));
     }
   }
 

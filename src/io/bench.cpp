@@ -1,9 +1,13 @@
 #include "io/bench.hpp"
 
+#include <cctype>
 #include <fstream>
+#include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 namespace stps::io {
 
@@ -55,11 +59,16 @@ void write_bench(const net::aig_network& aig, std::ostream& os)
   };
 
   aig.foreach_gate([&](net::node n) {
-    os << node_ref(aig, n) << " = AND(" << ref(aig.fanin0(n)) << ", "
-       << ref(aig.fanin1(n)) << ")\n";
+    // Resolve both references *before* streaming the gate line: ref()
+    // may itself emit a NOT line, which must precede this one, not be
+    // spliced into the middle of it.
+    const std::string a = ref(aig.fanin0(n));
+    const std::string b = ref(aig.fanin1(n));
+    os << node_ref(aig, n) << " = AND(" << a << ", " << b << ")\n";
   });
   aig.foreach_po([&](net::signal f, uint32_t index) {
-    os << "O" << index << " = BUFF(" << ref(f) << ")\n";
+    const std::string driver = ref(f);
+    os << "O" << index << " = BUFF(" << driver << ")\n";
   });
 }
 
@@ -70,6 +79,232 @@ void write_bench(const net::aig_network& aig, const std::string& path)
     throw std::runtime_error{"cannot open " + path};
   }
   write_bench(aig, os);
+}
+
+namespace {
+
+struct bench_def
+{
+  std::string op;
+  std::vector<std::string> args;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& what)
+{
+  throw std::runtime_error{"read_bench: line " + std::to_string(line) +
+                           ": " + what};
+}
+
+std::string strip(const std::string& s)
+{
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1u]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Splits `OP(a, b, ...)` into op + argument names.
+bench_def parse_call(const std::string& rhs, std::size_t line)
+{
+  const std::size_t open = rhs.find('(');
+  const std::size_t close = rhs.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    fail(line, "expected OP(args): '" + rhs + "'");
+  }
+  bench_def def;
+  def.op = strip(rhs.substr(0, open));
+  std::string args = rhs.substr(open + 1u, close - open - 1u);
+  std::stringstream ss{args};
+  std::string arg;
+  while (std::getline(ss, arg, ',')) {
+    arg = strip(arg);
+    if (arg.empty()) {
+      fail(line, "empty argument in '" + rhs + "'");
+    }
+    def.args.push_back(arg);
+  }
+  if (def.op.empty()) {
+    fail(line, "missing gate type in '" + rhs + "'");
+  }
+  return def;
+}
+
+} // namespace
+
+net::aig_network read_bench(std::istream& is)
+{
+  std::vector<std::string> inputs;
+  std::vector<std::pair<std::string, std::size_t>> outputs;
+  std::unordered_map<std::string, std::pair<bench_def, std::size_t>> defs;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    const std::string line =
+        strip(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      const bench_def decl = parse_call(line, line_no);
+      if (decl.args.size() != 1u) {
+        fail(line_no, decl.op + " takes exactly one signal");
+      }
+      if (decl.op == "INPUT") {
+        inputs.push_back(decl.args.front());
+      } else if (decl.op == "OUTPUT") {
+        outputs.emplace_back(decl.args.front(), line_no);
+      } else {
+        fail(line_no, "unknown declaration " + decl.op);
+      }
+      continue;
+    }
+    const std::string name = strip(line.substr(0, eq));
+    if (name.empty()) {
+      fail(line_no, "missing signal name");
+    }
+    const bench_def def = parse_call(line.substr(eq + 1u), line_no);
+    if (!defs.emplace(name, std::make_pair(def, line_no)).second) {
+      fail(line_no, "signal " + name + " redefined");
+    }
+  }
+  if (inputs.empty() && outputs.empty() && defs.empty()) {
+    throw std::runtime_error{"read_bench: no BENCH content found"};
+  }
+
+  net::aig_network aig;
+  std::unordered_map<std::string, net::signal> sig_of;
+  for (const std::string& name : inputs) {
+    if (!sig_of.emplace(name, aig.create_pi(name)).second) {
+      throw std::runtime_error{"read_bench: input " + name + " redeclared"};
+    }
+    if (defs.count(name) != 0u) {
+      throw std::runtime_error{"read_bench: input " + name + " is driven"};
+    }
+  }
+
+  // Definitions may appear in any order: resolve by DFS over the name
+  // graph (explicit stack; files can be thousands of levels deep).
+  enum class state : uint8_t { open, visiting, done };
+  std::unordered_map<std::string, state> marks;
+  const auto resolve = [&](const std::string& root,
+                           std::size_t use_line) -> net::signal {
+    std::vector<std::string> stack{root};
+    while (!stack.empty()) {
+      const std::string name = stack.back();
+      if (sig_of.count(name) != 0u) {
+        stack.pop_back();
+        continue;
+      }
+      const auto it = defs.find(name);
+      if (it == defs.end()) {
+        // Undriven rails: BENCH files conventionally leave GND/VDD
+        // dangling (the writer does for input-free netlists).
+        if (name == "GND" || name == "gnd") {
+          sig_of.emplace(name, aig.get_constant(false));
+          stack.pop_back();
+          continue;
+        }
+        if (name == "VDD" || name == "vdd") {
+          sig_of.emplace(name, aig.get_constant(true));
+          stack.pop_back();
+          continue;
+        }
+        fail(use_line, "signal " + name + " is never defined");
+      }
+      const bench_def& def = it->second.first;
+      const std::size_t def_line = it->second.second;
+      state& mark = marks[name];
+      if (mark == state::open) {
+        mark = state::visiting;
+        for (const std::string& arg : def.args) {
+          if (sig_of.count(arg) == 0u) {
+            if (marks[arg] == state::visiting) {
+              fail(def_line, "combinational cycle through " + arg);
+            }
+            stack.push_back(arg);
+          }
+        }
+        continue; // revisit once the fanins resolved
+      }
+      std::vector<net::signal> fanins;
+      fanins.reserve(def.args.size());
+      for (const std::string& arg : def.args) {
+        fanins.push_back(sig_of.at(arg));
+      }
+      net::signal out;
+      if (def.op == "NOT" || def.op == "BUFF" || def.op == "BUF") {
+        if (fanins.size() != 1u) {
+          fail(def_line, def.op + " takes exactly one argument");
+        }
+        out = def.op == "NOT" ? !fanins.front() : fanins.front();
+      } else if (def.op == "AND" || def.op == "NAND" || def.op == "OR" ||
+                 def.op == "NOR") {
+        if (fanins.size() < 2u) {
+          fail(def_line, def.op + " needs at least two arguments");
+        }
+        const bool is_or = def.op == "OR" || def.op == "NOR";
+        net::signal acc = fanins.front();
+        for (std::size_t i = 1; i < fanins.size(); ++i) {
+          acc = is_or ? aig.create_or(acc, fanins[i])
+                      : aig.create_and(acc, fanins[i]);
+        }
+        const bool invert = def.op == "NAND" || def.op == "NOR";
+        out = invert ? !acc : acc;
+      } else if (def.op == "XOR" || def.op == "XNOR") {
+        if (fanins.size() < 2u) {
+          fail(def_line, def.op + " needs at least two arguments");
+        }
+        net::signal acc = fanins.front();
+        for (std::size_t i = 1; i < fanins.size(); ++i) {
+          acc = aig.create_xor(acc, fanins[i]);
+        }
+        out = def.op == "XNOR" ? !acc : acc;
+      } else {
+        fail(def_line, "unknown gate type " + def.op);
+      }
+      sig_of.emplace(name, out);
+      mark = state::done;
+      stack.pop_back();
+    }
+    return sig_of.at(root);
+  };
+
+  for (const auto& [name, line] : outputs) {
+    aig.create_po(resolve(name, line), name);
+  }
+  // Validate logic no OUTPUT reaches too: corrupt gate types, undefined
+  // fanins, or cycles must throw wherever they sit in the file.  The
+  // dead cones briefly materialize as gates and are dropped again.
+  bool dead_logic = false;
+  for (const auto& [name, def] : defs) {
+    if (sig_of.count(name) == 0u) {
+      resolve(name, def.second);
+      dead_logic = true;
+    }
+  }
+  if (dead_logic) {
+    aig.cleanup_dangling();
+  }
+  return aig;
+}
+
+net::aig_network read_bench(const std::string& path)
+{
+  std::ifstream is{path};
+  if (!is) {
+    throw std::runtime_error{"cannot open " + path};
+  }
+  return read_bench(is);
 }
 
 } // namespace stps::io

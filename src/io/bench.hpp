@@ -1,9 +1,12 @@
 /// \file bench.hpp
-/// \brief BENCH (ISCAS) writer for AIGs.
+/// \brief BENCH (ISCAS) reader/writer for AIGs.
 ///
 /// BENCH is the minimal gate-list format many academic tools accept;
 /// every AND gate becomes `n = AND(a, b)` with explicit `NOT` lines for
-/// complemented edges.
+/// complemented edges.  The reader accepts the writer's vocabulary plus
+/// the common ISCAS gate set (AND/OR/NAND/NOR/XOR/XNOR of any arity ≥ 2,
+/// NOT/BUFF of arity 1) and arbitrary definition order; unknown gate
+/// types, undefined signals, and redefinitions throw std::runtime_error.
 #pragma once
 
 #include "network/aig.hpp"
@@ -15,5 +18,10 @@ namespace stps::io {
 
 void write_bench(const net::aig_network& aig, std::ostream& os);
 void write_bench(const net::aig_network& aig, const std::string& path);
+
+/// Parses a BENCH gate list into an AIG (wide gates become balanced
+/// AND/OR trees; XOR/XNOR become the usual 3-AND cones).
+net::aig_network read_bench(std::istream& is);
+net::aig_network read_bench(const std::string& path);
 
 } // namespace stps::io

@@ -1,0 +1,58 @@
+#include "sat/cnf_manager.hpp"
+
+namespace stps::sat {
+
+cnf_manager::cnf_manager(const net::aig_network& aig, params p)
+    : aig_{aig}, params_{p}, solver_{std::make_unique<solver>()},
+      encoder_{std::make_unique<aig_encoder>(aig_, *solver_)}
+{
+}
+
+void cnf_manager::begin_query()
+{
+  const uint64_t clauses = static_cast<uint64_t>(solver_->num_clauses()) +
+                           static_cast<uint64_t>(solver_->num_learnts());
+  clauses_peak_ = std::max(clauses_peak_, clauses);
+  const bool over_budget =
+      params_.clause_budget != 0u && clauses > params_.clause_budget;
+  if ((params_.incremental || !used_) && !over_budget) {
+    used_ = true;
+    return;
+  }
+  // New epoch: retire the pair, start empty.  The encoder must be
+  // destroyed first (it references the solver).
+  nodes_encoded_retired_ += encoder_->num_encoded_nodes();
+  ++rebuilds_;
+  encoder_.reset();
+  solver_ = std::make_unique<solver>();
+  encoder_ = std::make_unique<aig_encoder>(aig_, *solver_);
+  used_ = true;
+}
+
+result cnf_manager::prove_equivalent(net::signal a, net::signal b,
+                                     bool complement, int64_t conflict_budget)
+{
+  begin_query();
+  return encoder_->prove_equivalent(a, b, complement, conflict_budget);
+}
+
+result cnf_manager::prove_constant(net::signal f, bool value,
+                                   int64_t conflict_budget)
+{
+  begin_query();
+  return encoder_->prove_constant(f, value, conflict_budget);
+}
+
+std::optional<std::vector<bool>> cnf_manager::find_assignment(
+    net::signal f, bool value, int64_t conflict_budget)
+{
+  begin_query();
+  return encoder_->find_assignment(f, value, conflict_budget);
+}
+
+std::vector<bool> cnf_manager::model_inputs() const
+{
+  return encoder_->model_inputs();
+}
+
+} // namespace stps::sat

@@ -1,0 +1,109 @@
+/// \file cnf_manager.hpp
+/// \brief Lifetime and garbage policy for the sweepers' incremental CNF.
+///
+/// Both sweepers pose thousands of equivalence/constant queries against
+/// one circuit.  The cone-reuse win comes from keeping *one* persistent
+/// solver with a gate→literal cache (aig_encoder): a query encodes only
+/// the not-yet-encoded part of its union cone, and cached clauses plus
+/// learnt clauses survive across queries.  Left unchecked, however, the
+/// clause database grows monotonically — encoded cones of long-dead
+/// candidates and stale learnt clauses slow every later propagation and
+/// pin memory for the whole sweep, which is what breaks ≥ 1M-gate
+/// instances.
+///
+/// The manager owns the solver + encoder pair and adds the two policies
+/// the raw encoder cannot express:
+///
+/// * **Garbage epochs** — when problem + learnt clauses exceed
+///   `clause_budget`, the pair is torn down and rebuilt empty (a new
+///   epoch); cones re-encode lazily on the queries that actually still
+///   need them, so the rebuilt database contains only live work.  The
+///   check runs at query *entry*, never between a `sat` answer and its
+///   `model_inputs()` read.
+/// * **The non-incremental ablation** — `incremental = false` rebuilds
+///   before *every* query, i.e. each query re-encodes its whole union
+///   cone from scratch into a fresh solver.  This is the baseline the
+///   `sat_nodes_encoded` counter is measured against; results are
+///   bit-identical (the differential harness pins this), only the encode
+///   work and runtime differ.
+#pragma once
+
+#include "network/aig.hpp"
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace stps::sat {
+
+class cnf_manager
+{
+public:
+  struct params
+  {
+    /// false = fresh solver + encoder per query (ablation baseline).
+    bool incremental = true;
+    /// Rebuild the solver when problem + learnt clauses exceed this
+    /// (checked at query entry); 0 = never rebuild.
+    uint64_t clause_budget = 0;
+  };
+
+  /// \p aig must outlive the manager (the encoder keeps a reference).
+  cnf_manager(const net::aig_network& aig, params p);
+  explicit cnf_manager(const net::aig_network& aig)
+      : cnf_manager(aig, params{})
+  {
+  }
+
+  /// \name Query interface (see aig_encoder for semantics)
+  /// \{
+  result prove_equivalent(net::signal a, net::signal b, bool complement,
+                          int64_t conflict_budget);
+  result prove_constant(net::signal f, bool value, int64_t conflict_budget);
+  std::optional<std::vector<bool>> find_assignment(net::signal f, bool value,
+                                                   int64_t conflict_budget);
+  /// PI assignment of the last `sat` answer.  Valid until the next
+  /// query (a rebuild can only happen at query entry).
+  std::vector<bool> model_inputs() const;
+  /// \}
+
+  /// \name Encode-work counters (aggregated across epochs)
+  /// \{
+  /// AND nodes Tseitin-encoded over the manager's lifetime; with
+  /// incremental CNF each live node is encoded ~once per epoch, without
+  /// it every query re-encodes its union cone.
+  uint64_t nodes_encoded() const noexcept
+  {
+    return nodes_encoded_retired_ + encoder_->num_encoded_nodes();
+  }
+  /// Solver teardowns (garbage epochs + non-incremental per-query
+  /// rebuilds).
+  uint64_t rebuilds() const noexcept { return rebuilds_; }
+  /// Largest problem + learnt clause count observed at a query entry —
+  /// with a finite `clause_budget` this is (budget + one query's cone)
+  /// bounded, without one it grows with the sweep.
+  uint64_t clauses_peak() const noexcept { return clauses_peak_; }
+  /// \}
+
+  const solver_stats& solver_statistics() const noexcept
+  {
+    return solver_->stats();
+  }
+
+private:
+  /// Applies the rebuild policy; called at every query entry.
+  void begin_query();
+
+  const net::aig_network& aig_;
+  params params_;
+  std::unique_ptr<solver> solver_;
+  std::unique_ptr<aig_encoder> encoder_;
+  bool used_ = false; ///< a query ran in the current epoch
+  uint64_t nodes_encoded_retired_ = 0;
+  uint64_t rebuilds_ = 0;
+  uint64_t clauses_peak_ = 0;
+};
+
+} // namespace stps::sat

@@ -99,6 +99,15 @@ public:
 
   const solver_stats& stats() const noexcept { return stats_; }
 
+  /// Problem clauses currently in the database (permanent + removable;
+  /// unit facts live on the trail and are not counted).
+  std::size_t num_clauses() const noexcept
+  {
+    return clauses_.size() + removables_.size();
+  }
+  /// Learnt clauses currently retained (reduce_db and purges shrink this).
+  std::size_t num_learnts() const noexcept { return learnts_.size(); }
+
   /// True once the clause database is unconditionally unsatisfiable.
   bool in_conflict() const noexcept { return !ok_; }
 

@@ -25,6 +25,19 @@
 /// positions at or beyond `num_patterns` in the final word are zero, so
 /// whole-word signature comparison is meaningful — by calling
 /// `mask_tail`, the single place the invariant is enforced.
+///
+/// **Trimming.**  Sweeping appends one word per 64 counter-examples and,
+/// once the equivalence classes have been refined with a word, never
+/// reads it again — its information is *absorbed* by the partition.
+/// `trim_words(first_live)` frees the storage of absorbed words: tail
+/// blocks are dropped individually (one `swap`, the word-major layout
+/// makes this O(1) per word), the node-major base arena is freed as a
+/// whole once every base word is absorbed.  Word indexing stays
+/// *absolute* — `num_words()` never shrinks, appended words keep their
+/// indices — so refinement code is oblivious to trimming.  Reading a
+/// trimmed word yields 0 through the const accessors; writing one is a
+/// bug (asserted in debug builds).  `live_words`, `words_trimmed`,
+/// `live_bytes`, and `peak_bytes` expose the memory-budget counters.
 #pragma once
 
 #include <cassert>
@@ -130,10 +143,15 @@ public:
 
   uint64_t word(std::size_t n, std::size_t w) const noexcept
   {
-    return w < stride_ ? data_[n * stride_ + w] : tail_[w - stride_][n];
+    if (w < stride_) {
+      return base_freed_ ? 0u : data_[n * stride_ + w];
+    }
+    const std::vector<uint64_t>& t = tail_[w - stride_];
+    return t.empty() ? 0u : t[n];
   }
   uint64_t& word(std::size_t n, std::size_t w) noexcept
   {
+    assert(w >= first_live_ && "word(): writing a trimmed word");
     return w < stride_ ? data_[n * stride_ + w] : tail_[w - stride_][n];
   }
 
@@ -162,12 +180,49 @@ public:
   /// \p num_patterns in the final word are cleared on every row.
   void mask_tail(uint64_t num_patterns);
 
+  /// \name Memory budget: trimming absorbed words
+  /// \{
+  /// Frees the storage of every word with index < \p first_live (clamped
+  /// to `num_words()`).  Tail blocks are freed individually; the base
+  /// arena is freed as a whole once \p first_live reaches `base_words()`
+  /// (node-major rows cannot drop single words cheaply).  Indices are
+  /// absolute and monotone: trimming never renumbers words, and a lower
+  /// \p first_live than a previous call is a no-op.
+  void trim_words(std::size_t first_live);
+
+  /// First word whose storage is guaranteed live (0 when never trimmed).
+  std::size_t first_live_word() const noexcept { return first_live_; }
+  /// Words whose backing storage has been freed.
+  std::size_t words_trimmed() const noexcept
+  {
+    return (base_freed_ ? stride_ : 0u) + tail_freed_;
+  }
+  /// Words still backed by storage.
+  std::size_t live_words() const noexcept
+  {
+    return num_words_ - words_trimmed();
+  }
+  /// Current footprint of the word data in bytes.
+  std::size_t live_bytes() const noexcept
+  {
+    return ((base_freed_ ? 0u : data_.size()) +
+            (tail_.size() - tail_freed_) * num_nodes_) *
+           sizeof(uint64_t);
+  }
+  /// Largest `live_bytes()` ever reached (tracked across reset/append).
+  std::size_t peak_bytes() const noexcept { return peak_bytes_; }
+  /// \}
+
 private:
   std::vector<uint64_t> data_;                ///< node-major base arena
   std::vector<std::vector<uint64_t>> tail_;   ///< word-major appended words
   std::size_t num_nodes_ = 0;
   std::size_t num_words_ = 0;
   std::size_t stride_ = 0;                    ///< base words per row
+  std::size_t first_live_ = 0;                ///< trim high-water mark
+  std::size_t tail_freed_ = 0;                ///< leading tail blocks freed
+  bool base_freed_ = false;
+  std::size_t peak_bytes_ = 0;
 };
 
 } // namespace stps::sim

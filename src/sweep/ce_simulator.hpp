@@ -76,6 +76,17 @@ public:
   std::size_t needed_gate_count() const noexcept { return needed_count_; }
   /// \}
 
+  /// Frees the storage of collapsed signature words with index
+  /// < \p first_live — callable once their refinement information is
+  /// absorbed by the equivalence classes (the sweeper's word budget).
+  /// `node_word` and `add_ce` only ever touch the current last word, so
+  /// trimming older words never changes behavior.
+  void trim_absorbed(std::size_t first_live) { csig_.trim_words(first_live); }
+
+  /// The collapsed store (memory-budget counters: live/trimmed words,
+  /// peak bytes).
+  const sim::signature_store& store() const noexcept { return csig_; }
+
 private:
   /// Full-word STP pass (initial simulation at build time only).
   void simulate_word(const sim::pattern_set& patterns, std::size_t word);

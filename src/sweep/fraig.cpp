@@ -1,7 +1,7 @@
 #include "sweep/fraig.hpp"
 
 #include "network/traversal.hpp"
-#include "sat/encoder.hpp"
+#include "sat/cnf_manager.hpp"
 #include "sim/bitwise_sim.hpp"
 #include "sweep/equiv_classes.hpp"
 
@@ -27,8 +27,11 @@ sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
   stats.gates_before = aig.num_gates();
   stats.levels_before = net::depth(aig);
 
-  sat::solver solver;
-  sat::aig_encoder encoder{aig, solver};
+  // The baseline keeps the same persistent cone-reuse CNF as the STP
+  // sweeper (one solver, gate→literal cache) with no garbage policy —
+  // the paper's comparison is about guidance and simulation, not the
+  // SAT plumbing.
+  sat::cnf_manager cnf{aig};
 
   // Initial simulation (guided, like `&fraig -x`) and candidate classes.
   sim::pattern_set patterns;
@@ -36,7 +39,7 @@ sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
     guided_pattern_config config;
     config.base_patterns = params.num_patterns;
     config.seed = params.seed;
-    guided_pattern_result guided = sat_guided_patterns(aig, encoder, config);
+    guided_pattern_result guided = sat_guided_patterns(aig, cnf, config);
     patterns = std::move(guided.patterns);
     stats.sat_calls_total += guided.sat_calls;
     stats.sim_seconds += guided.sim_seconds;
@@ -88,7 +91,7 @@ sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
 
       const auto t_sat = clock_type::now();
       ++stats.sat_calls_total;
-      const sat::result r = encoder.prove_equivalent(
+      const sat::result r = cnf.prove_equivalent(
           net::signal{n, false}, net::signal{rep, false}, complement,
           params.conflict_budget);
       stats.sat_seconds += seconds_since(t_sat);
@@ -112,7 +115,7 @@ sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
       ++stats.sat_calls_satisfiable;
       ++stats.ce_patterns;
       const auto t_ce = clock_type::now();
-      patterns.add_pattern(encoder.model_inputs());
+      patterns.add_pattern(cnf.model_inputs());
       sim::resimulate_aig_last_word(aig, patterns, sig);
       classes.refine_with_word(sig, patterns.num_words() - 1u,
                                sim::tail_mask(patterns.num_patterns()));
@@ -122,6 +125,9 @@ sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
 
   aig.cleanup_dangling();
   stats.gates_after = aig.num_gates();
+  stats.sat_nodes_encoded = cnf.nodes_encoded();
+  stats.sat_solver_rebuilds = cnf.rebuilds();
+  stats.sat_clauses_peak = cnf.clauses_peak();
   stats.total_seconds = seconds_since(t_total);
   return stats;
 }

@@ -31,7 +31,7 @@ uint64_t ones_count(const sim::signature_store& sig, net::node n)
 } // namespace
 
 guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
-                                          sat::aig_encoder& encoder,
+                                          sat::cnf_manager& cnf,
                                           const guided_pattern_config& config)
 {
   guided_pattern_result result;
@@ -75,12 +75,12 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
       // One query settles it: SAT hands back a witness pattern breaking
       // the false candidacy, UNSAT proves the constant.
       const auto t_sat = clock_type::now();
-      const sat::result r = encoder.prove_constant(
+      const sat::result r = cnf.prove_constant(
           net::signal{n, false}, looks_constant, config.conflict_budget);
       result.sat_seconds += seconds_since(t_sat);
       if (r == sat::result::sat) {
         ++result.satisfiable_calls;
-        absorb_witness(encoder.model_inputs());
+        absorb_witness(cnf.model_inputs());
         any_witness = true;
       } else if (r == sat::result::unsat) {
         proven[n] = true;
@@ -109,7 +109,7 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
     ++queries;
     ++result.sat_calls;
     const auto t_sat = clock_type::now();
-    const auto witness = encoder.find_assignment(
+    const auto witness = cnf.find_assignment(
         net::signal{n, false}, few_ones, config.conflict_budget);
     result.sat_seconds += seconds_since(t_sat);
     if (witness.has_value()) {

@@ -17,7 +17,7 @@
 #pragma once
 
 #include "network/aig.hpp"
-#include "sat/encoder.hpp"
+#include "sat/cnf_manager.hpp"
 #include "sim/patterns.hpp"
 
 #include <cstdint>
@@ -48,11 +48,12 @@ struct guided_pattern_result
   double sat_seconds = 0.0;      ///< time in the SAT queries
 };
 
-/// Runs both guidance rounds; the encoder accumulates the circuit CNF, so
-/// passing the sweeper's own encoder shares learned clauses with the
-/// later equivalence queries.
+/// Runs both guidance rounds; the manager accumulates the circuit CNF, so
+/// passing the sweeper's own CNF manager shares encoded cones and learned
+/// clauses with the later equivalence queries (subject to its garbage
+/// policy).
 guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
-                                          sat::aig_encoder& encoder,
+                                          sat::cnf_manager& cnf,
                                           const guided_pattern_config& config);
 
 } // namespace stps::sweep

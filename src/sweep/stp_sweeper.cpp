@@ -2,7 +2,7 @@
 
 #include "core/stp_simulator.hpp"
 #include "network/traversal.hpp"
-#include "sat/encoder.hpp"
+#include "sat/cnf_manager.hpp"
 #include "sim/bitwise_sim.hpp"
 #include "sweep/ce_simulator.hpp"
 #include "sweep/equiv_classes.hpp"
@@ -174,8 +174,8 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   stats.gates_before = aig.num_gates();
   stats.levels_before = net::depth(aig);
 
-  sat::solver solver;
-  sat::aig_encoder encoder{aig, solver};
+  sat::cnf_manager cnf{
+      aig, {params.use_incremental_cnf, params.sat_clause_budget}};
 
   // ---- Initial patterns (Alg. 2 line 2) + constant propagation (line 3).
   // The per-round simulation budget scales with the gate count (capped at
@@ -188,7 +188,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       params.effective_round2_queries(aig.num_gates());
   sim::pattern_set patterns;
   if (params.use_guided_patterns) {
-    guided_pattern_result guided = sat_guided_patterns(aig, encoder,
+    guided_pattern_result guided = sat_guided_patterns(aig, cnf,
                                                        guided_config);
     patterns = std::move(guided.patterns);
     stats.sat_calls_total += guided.sat_calls;
@@ -229,6 +229,34 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
     cesim.build(aig, target_gates, params.collapse_limit, patterns);
     stats.sim_seconds += seconds_since(t_sim);
   }
+
+  // ---- Signature-store word budget. ------------------------------------
+  // Once the classes have been refined with a word, the partition has
+  // absorbed everything it says and no code path reads it again — only
+  // the *open* (partially filled) word is ever re-read or written.
+  // Trimming frees absorbed words' storage; with the initial build just
+  // done, that is every base word the moment enough of them accumulate.
+  const auto trim_absorbed_words = [&]() {
+    if (params.store_word_budget == 0u) {
+      return;
+    }
+    // The open word must stay live; on an exact 64-pattern boundary the
+    // last word is filled *and* refined with (the caller just flushed),
+    // so everything can go.
+    const std::size_t first_live = patterns.num_patterns() % 64u == 0u
+                                       ? patterns.num_words()
+                                       : patterns.num_words() - 1u;
+    if (sig.live_words() <= params.store_word_budget &&
+        (!params.use_collapsed_ce_simulation ||
+         cesim.store().live_words() <= params.store_word_budget)) {
+      return;
+    }
+    sig.trim_words(first_live);
+    if (params.use_collapsed_ce_simulation) {
+      cesim.trim_absorbed(first_live);
+    }
+  };
+  trim_absorbed_words(); // base words are absorbed by the initial build
 
   // ---- Batched counter-example bookkeeping. ----------------------------
   // CEs land in the open tail word immediately (cesim keeps every bit
@@ -413,7 +441,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
 
       const auto t_sat = clock_type::now();
       ++stats.sat_calls_total;
-      const sat::result r = encoder.prove_equivalent(
+      const sat::result r = cnf.prove_equivalent(
           net::signal{n, false}, net::signal{driver, false}, complement,
           params.conflict_budget);
       stats.sat_seconds += seconds_since(t_sat);
@@ -440,10 +468,11 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       ++stats.sat_calls_satisfiable;
       ++stats.ce_patterns;
       t_sim = clock_type::now();
-      const std::vector<bool> ce = encoder.model_inputs();
+      const std::vector<bool> ce = cnf.model_inputs();
       if (params.use_collapsed_ce_simulation) {
         if (patterns.num_patterns() % 64u == 0u) {
           refine_all_classes(); // condition (a): word full, flush
+          trim_absorbed_words(); // every word is absorbed now
         }
         patterns.add_pattern(ce);
         cesim.add_ce(patterns, ce);
@@ -454,6 +483,9 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
           refine_all_classes();
         }
       } else {
+        if (patterns.num_patterns() % 64u == 0u) {
+          trim_absorbed_words(); // the filled word was refined with eagerly
+        }
         patterns.add_pattern(ce);
         sim::resimulate_aig_last_word(aig, patterns, sig);
         classes.refine_with_word(sig, patterns.num_words() - 1u,
@@ -467,8 +499,21 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   aig.cleanup_dangling();
   stats.gates_after = aig.num_gates();
   if (params.use_collapsed_ce_simulation) {
+    stats.has_ce_counters = true;
     stats.ce_gates_visited = cesim.ce_gates_visited();
     stats.ce_gates_scan_baseline = cesim.ce_gates_scan_baseline();
+  }
+  stats.sat_nodes_encoded = cnf.nodes_encoded();
+  stats.sat_solver_rebuilds = cnf.rebuilds();
+  stats.sat_clauses_peak = cnf.clauses_peak();
+  stats.has_store_counters = true;
+  stats.store_words_live = sig.live_words();
+  stats.store_words_trimmed = sig.words_trimmed();
+  stats.store_peak_bytes = sig.peak_bytes();
+  if (params.use_collapsed_ce_simulation) {
+    stats.store_words_live += cesim.store().live_words();
+    stats.store_words_trimmed += cesim.store().words_trimmed();
+    stats.store_peak_bytes += cesim.store().peak_bytes();
   }
   stats.total_seconds = seconds_since(t_total);
   return stats;

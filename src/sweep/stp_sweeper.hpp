@@ -60,6 +60,24 @@ struct stp_sweep_params
   /// refinement core.
   bool use_batched_ce_refinement = true;
 
+  /// Ablation: false tears the SAT solver down before *every* query, so
+  /// each query re-encodes its whole union cone from scratch — the
+  /// output-insensitive baseline `sat_nodes_encoded` is measured
+  /// against.  Results are identical either way (differential harness).
+  bool use_incremental_cnf = true;
+  /// Garbage epoch for the incremental CNF: when problem + learnt
+  /// clauses exceed this at a query entry, the solver is rebuilt empty
+  /// and live cones re-encode lazily.  Bounds SAT memory on ≥ 1M-gate
+  /// sweeps; 0 = never rebuild.  Ignored when `use_incremental_cnf` is
+  /// false (every query already starts empty).
+  uint64_t sat_clause_budget = 4'000'000;
+  /// Signature-store word budget: when more than this many live words
+  /// accumulate at a 64-CE word boundary, absorbed words (everything the
+  /// equivalence classes already refined with) are trimmed from the
+  /// candidate and collapsed-CE stores.  0 = keep every word forever
+  /// (the unbounded ablation baseline).
+  uint32_t store_word_budget = 8;
+
   int64_t conflict_budget = -1;  ///< equivalence queries; -1 = unlimited
   std::size_t tfi_limit = 1000;  ///< Alg. 2 line 1
   uint32_t window_max_support = 15; ///< "< 16 leaves" (§IV-A)

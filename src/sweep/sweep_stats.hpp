@@ -26,6 +26,26 @@ struct sweep_stats
   /// Gates the input-insensitive needed-set scan would have evaluated
   /// for the same counter-examples (needed gates × CE count).
   uint64_t ce_gates_scan_baseline = 0;
+  /// True when the engine ran the collapsed CE simulator and the two
+  /// counters above are defined; engines without them (fraig, the
+  /// non-collapsed ablation) must omit the columns instead of printing
+  /// zeros (ratio tooling would divide by them).
+  bool has_ce_counters = false;
+
+  /// \name Incremental-CNF counters (cnf_manager)
+  /// \{
+  uint64_t sat_nodes_encoded = 0;  ///< AND nodes Tseitin-encoded, all epochs
+  uint64_t sat_solver_rebuilds = 0; ///< garbage epochs / per-query rebuilds
+  uint64_t sat_clauses_peak = 0;   ///< max problem+learnt clauses seen
+  /// \}
+
+  /// \name Signature-store memory counters (candidate + CE stores)
+  /// \{
+  bool has_store_counters = false; ///< engine tracks a word budget
+  uint64_t store_words_live = 0;    ///< words still backed at sweep end
+  uint64_t store_words_trimmed = 0; ///< absorbed words whose storage was freed
+  uint64_t store_peak_bytes = 0;    ///< sum of per-store peak footprints
+  /// \}
 
   double sim_seconds = 0.0;   ///< "Simulation" (initial + CE)
   double sat_seconds = 0.0;

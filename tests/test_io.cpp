@@ -160,4 +160,159 @@ TEST(Bench, ContainsGateLines)
   EXPECT_NE(text.find(" = BUFF("), std::string::npos);
 }
 
+// ---- Round trips: parse(write(parse(write(N)))) is equivalent to N ------
+// on generated networks of every family each format ships.
+
+TEST(Bench, RoundTripGeneratedNetworks)
+{
+  const net::aig_network networks[] = {
+      gen::make_adder(8u),
+      gen::make_max(6u),
+      gen::make_random_logic({9u, 7u, 300u, 0xbe7c4u, 30u}),
+  };
+  for (const net::aig_network& original : networks) {
+    std::stringstream ss;
+    io::write_bench(original, ss);
+    const auto reread = io::read_bench(ss);
+    expect_equivalent(original, reread);
+    // Second trip is stable (writer handles reader-built networks).
+    std::stringstream ss2;
+    io::write_bench(reread, ss2);
+    const auto reread2 = io::read_bench(ss2);
+    ASSERT_EQ(reread2.num_gates(), reread.num_gates());
+    expect_equivalent(original, reread2);
+  }
+}
+
+TEST(Bench, ReadsWideGatesCommentsAndAnyOrder)
+{
+  // Definitions out of order, arity-3 gates of every type, comments,
+  // and the conventional undriven GND/VDD rails.
+  std::stringstream ss{
+      "# header comment\n"
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\n"
+      "OUTPUT(y)\nOUTPUT(z)\nOUTPUT(w)\n"
+      "y = AND(t1, t2)   # uses signals defined below\n"
+      "t1 = OR(a, b, c)\n"
+      "t2 = NAND(a, b, c)\n"
+      "z = XNOR(a, b, c)\n"
+      "w = NOR(t3, GND, VDD)\n"
+      "t3 = XOR(a, b)\n"
+      "unused = AND(a, b, c)  # valid dead logic is fine, and dropped\n"};
+  const auto aig = io::read_bench(ss);
+  ASSERT_EQ(aig.num_pis(), 3u);
+  ASSERT_EQ(aig.num_pos(), 3u);
+  const auto patterns = sim::pattern_set::exhaustive(3u);
+  const auto sig = sim::simulate_aig(aig, patterns);
+  const auto po_bits = [&](uint32_t i) {
+    const auto f = aig.po_at(i);
+    const uint64_t v = sig[f.get_node()][0];
+    return (f.is_complemented() ? ~v : v) & 0xffu;
+  };
+  // y = (a|b|c) & ~(a&b&c); z = ~(a^b^c); w = ~((a^b) | 0 | 1) = 0.
+  EXPECT_EQ(po_bits(0u), 0x7eu);
+  EXPECT_EQ(po_bits(1u), 0x69u);
+  EXPECT_EQ(po_bits(2u), 0x00u);
+}
+
+TEST(Bench, RejectsMalformedInput)
+{
+  const char* const cases[] = {
+      "",                                            // empty file
+      "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n",     // unknown gate type
+      "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n",    // undefined signal
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n", // redefinition
+      "INPUT(a)\nOUTPUT(y)\na = NOT(a)\n",           // driven input
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a, a)\n",        // NOT arity
+      "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n",           // AND arity
+      "INPUT(a)\nOUTPUT(y)\ny = AND(x, z)\nx = NOT(z)\nz = NOT(x)\n", // cycle
+      // Damage in logic no OUTPUT reaches must still throw.
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nt = MAJ(a, a, a)\n",
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nu = AND(ghost, a)\n",
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\np = NOT(q)\nq = NOT(p)\n",
+      "INPUT(a)\nOUTPUT(y)\ny = AND(a,)\n",          // empty argument
+      "INPUT(a)\nOUTPUT(y)\ny = AND a, a\n",         // missing parens
+      "WIRE(a)\n",                                   // unknown declaration
+      "INPUT(a, b)\n",                               // declaration arity
+  };
+  for (const char* const text : cases) {
+    std::stringstream ss{text};
+    EXPECT_THROW(io::read_bench(ss), std::runtime_error) << text;
+  }
+  EXPECT_THROW(io::read_bench(std::string{"/nonexistent/file.bench"}),
+               std::runtime_error);
+}
+
+TEST(Aiger, RoundTripGeneratedNetworksBothFlavours)
+{
+  const net::aig_network networks[] = {
+      gen::make_multiplier(6u),
+      gen::make_random_logic({13u, 9u, 420u, 0xa13e5u, 40u}),
+  };
+  for (const net::aig_network& original : networks) {
+    for (const bool binary : {false, true}) {
+      std::stringstream ss;
+      if (binary) {
+        io::write_aiger_binary(original, ss);
+      } else {
+        io::write_aiger_ascii(original, ss);
+      }
+      const auto reread = io::read_aiger(ss);
+      ASSERT_EQ(reread.num_gates(), original.num_gates());
+      expect_equivalent(original, reread);
+    }
+  }
+}
+
+TEST(Aiger, RejectsMalformedStructure)
+{
+  const char* const cases[] = {
+      "aag 1 2 0 1 1\n2\n4\n6\n6 2 4\n",  // M smaller than I+A
+      "aag 3 2 0 1 1\n2\n4\n9\n6 2 4\n",  // PO literal out of range
+      "aag 3 2 0 1 1\n2\n4\n6\n6 2 99\n", // AND fanin out of range
+      "aag 3 2 0 1 1\n3\n4\n6\n6 2 4\n",  // complemented input literal
+      "aig 3 2 0 1 1\n6\n",               // truncated binary section
+      "aag 3 2 0 1 1\n2\n4\n6\n6 2\n",    // truncated AND line
+      "aag 2 1 0 1 0\n0\n2\n",            // input defined as constant
+      "aig 3 2 0 1 1\nxyz\n",             // garbage output literal
+      "aig 0 18446744073709551615 1 0 0\n", // header count sum wraps uint64
+      "aag 3 1 0 1 2\n2\n6\n4 6 2\n6 2 2\n", // AND forward reference
+  };
+  for (const char* const text : cases) {
+    std::stringstream ss{text};
+    EXPECT_THROW(io::read_aiger(ss), std::runtime_error) << text;
+  }
+  // Binary deltas that cannot fit in 32 bits must be parse errors, not
+  // oversized shifts (6 continuation bytes) or silent truncation (high
+  // bits in the 5th byte: 2^32 would decode as 0, i.e. self-reference).
+  for (const std::string delta :
+       {std::string(6u, '\xff'), std::string{"\x80\x80\x80\x80\x10"},
+        std::string{"\x00\x00", 2u}}) { // delta0 = 0: AND reads itself
+    std::stringstream ss{std::string{"aig 3 2 0 1 1\n6\n"} + delta};
+    EXPECT_THROW(io::read_aiger(ss), std::runtime_error);
+  }
+}
+
+TEST(Blif, RoundTripGeneratedKluts)
+{
+  for (const uint32_t k : {2u, 4u, 6u}) {
+    const auto aig = gen::make_random_logic({8u, 6u, 260u, 0xb11fu + k, 20u});
+    const auto mapped = cut::lut_map(aig, k);
+    std::stringstream ss;
+    io::write_blif(mapped.klut, ss);
+    const auto reread = io::read_blif(ss);
+    ASSERT_EQ(reread.num_pis(), mapped.klut.num_pis());
+    ASSERT_EQ(reread.num_pos(), mapped.klut.num_pos());
+    const auto patterns = sim::pattern_set::exhaustive(8u);
+    const auto sa = sim::simulate_klut_bitwise(mapped.klut, patterns);
+    const auto sb = sim::simulate_klut_bitwise(reread, patterns);
+    for (uint32_t i = 0; i < mapped.klut.num_pos(); ++i) {
+      for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+        ASSERT_EQ(sa[mapped.klut.po_at(i)][w], sb[reread.po_at(i)][w])
+            << "PO " << i << " word " << w << " k " << k;
+      }
+    }
+  }
+}
+
 } // namespace

@@ -8,6 +8,7 @@
 #include "sim/bitwise_sim.hpp"
 #include "stp/matrix.hpp"
 #include "sweep/cec.hpp"
+#include "sweep/equiv_classes.hpp"
 
 #include <gtest/gtest.h>
 
@@ -203,5 +204,74 @@ TEST_P(AigerFuzz, BothFormatsRoundTripRandomCircuits)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AigerFuzz,
                          ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+class StoreTrimFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+/// Property behind the sweeper's store word budget: once the classes
+/// have been refined with a word, its storage can be freed without
+/// changing any later refinement — the partition already absorbed it.
+/// Runs the same counter-example word sequence against a trimmed and a
+/// never-trimmed store and checks the partitions stay identical.
+TEST_P(StoreTrimFuzz, RefinementUnchangedWhenAbsorbedWordsTrimmed)
+{
+  std::mt19937_64 rng{0xb0d9e7u + GetParam()};
+  const auto aig = gen::make_random_logic(
+      {10u, 8u, 300u, GetParam() + 77u, 30u});
+  auto patterns = sim::pattern_set::random(aig.num_pis(), 128u, GetParam());
+
+  sim::signature_store ref = sim::simulate_aig(aig, patterns);
+  sim::signature_store trimmed = ref;
+
+  sweep::equiv_classes classes_ref;
+  sweep::equiv_classes classes_trimmed;
+  classes_ref.build(aig, ref, sim::tail_mask(patterns.num_patterns()));
+  classes_trimmed.build(aig, trimmed,
+                        sim::tail_mask(patterns.num_patterns()));
+
+  const auto assert_same_partition = [&](std::size_t step) {
+    ASSERT_EQ(classes_trimmed.num_classes(), classes_ref.num_classes())
+        << "step " << step;
+    for (net::node n = 0; n < aig.size(); ++n) {
+      ASSERT_EQ(classes_trimmed.class_of(n), classes_ref.class_of(n))
+          << "step " << step << " node " << n;
+    }
+  };
+
+  for (std::size_t step = 0; step < 160u; ++step) {
+    // One random counter-example pattern, resimulated into both stores.
+    std::vector<bool> ce(aig.num_pis());
+    for (std::size_t i = 0; i < ce.size(); ++i) {
+      ce[i] = (rng() & 1u) != 0u;
+    }
+    patterns.add_pattern(ce);
+    sim::resimulate_aig_last_word(aig, patterns, ref);
+    sim::resimulate_aig_last_word(aig, patterns, trimmed);
+
+    const std::size_t last = patterns.num_words() - 1u;
+    const uint64_t mask = sim::tail_mask(patterns.num_patterns());
+    classes_ref.refine_with_word(ref, last, mask);
+    classes_trimmed.refine_with_word(trimmed, last, mask);
+    assert_same_partition(step);
+    if (HasFatalFailure()) {
+      return;
+    }
+
+    // Everything at or before `last` is now absorbed; trim a random
+    // absorbed prefix (sometimes including the just-refined word when
+    // the pattern count sits on a 64-bit boundary).
+    const bool aligned = patterns.num_patterns() % 64u == 0u;
+    const std::size_t max_live = aligned ? last + 1u : last;
+    if (rng() % 2u == 0u) {
+      trimmed.trim_words(rng() % (max_live + 1u));
+    }
+  }
+  EXPECT_GT(trimmed.words_trimmed(), 0u);
+  EXPECT_LT(trimmed.live_bytes(), ref.live_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreTrimFuzz,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
 
 } // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <random>
 
 namespace {
 
@@ -129,6 +130,105 @@ TEST(SignatureStore, RowViewComparisons)
   EXPECT_TRUE(a[0u] == b[1u]);
   EXPECT_FALSE(a[0u] == b[0u]);
   EXPECT_TRUE(a[0u] == std::vector<uint64_t>({7u, 0u}));
+}
+
+TEST(SignatureStore, TrimFreesAbsorbedWordsAndCounts)
+{
+  signature_store sig(8u, 2u); // 2 base words
+  sig.append_word();           // words 2, 3: tail blocks
+  sig.append_word();
+  for (std::size_t n = 0; n < sig.size(); ++n) {
+    for (std::size_t w = 0; w < 4u; ++w) {
+      sig.word(n, w) = 100u * n + w;
+    }
+  }
+  const std::size_t full_bytes = 8u * 4u * sizeof(uint64_t);
+  EXPECT_EQ(sig.live_bytes(), full_bytes);
+  EXPECT_EQ(sig.peak_bytes(), full_bytes);
+  EXPECT_EQ(sig.live_words(), 4u);
+  EXPECT_EQ(sig.words_trimmed(), 0u);
+  EXPECT_EQ(sig.first_live_word(), 0u);
+
+  // first_live inside the base: node-major rows cannot drop single
+  // words, so nothing is freed yet — but the high-water mark moves.
+  sig.trim_words(1u);
+  EXPECT_EQ(sig.first_live_word(), 1u);
+  EXPECT_EQ(sig.live_words(), 4u);
+  EXPECT_EQ(sig.word(3u, 1u), 301u);
+
+  // Reaching the base boundary frees the whole arena; tail word 2 is
+  // also below the mark and its block is dropped individually.
+  sig.trim_words(3u);
+  EXPECT_EQ(sig.first_live_word(), 3u);
+  EXPECT_EQ(sig.words_trimmed(), 3u);
+  EXPECT_EQ(sig.live_words(), 1u);
+  EXPECT_EQ(sig.live_bytes(), 8u * sizeof(uint64_t));
+  EXPECT_EQ(sig.peak_bytes(), full_bytes);
+  // Trimmed reads are well-defined zeros through the const accessor
+  // (the mutable accessor asserts — writing a trimmed word is a bug);
+  // live words are intact, and num_words / indices never shift.
+  const signature_store& csig = sig;
+  EXPECT_EQ(csig.num_words(), 4u);
+  EXPECT_EQ(csig.word(5u, 0u), 0u);
+  EXPECT_EQ(csig.word(5u, 2u), 0u);
+  EXPECT_EQ(csig.word(5u, 3u), 503u);
+
+  // Trimming is monotone: a lower mark is a no-op.
+  sig.trim_words(1u);
+  EXPECT_EQ(sig.first_live_word(), 3u);
+  EXPECT_EQ(sig.word(5u, 3u), 503u);
+
+  // Appending after a trim keeps working (new tail block index 4).
+  sig.append_word();
+  sig.word(5u, 4u) = 77u;
+  EXPECT_EQ(sig.word(5u, 4u), 77u);
+  EXPECT_EQ(sig.live_words(), 2u);
+}
+
+/// Property: under random append/write/trim interleavings, every live
+/// word of the trimmed store matches a never-trimmed reference store fed
+/// the identical operations, and the counters stay consistent.
+TEST(SignatureStore, TrimInterleavingsMatchNeverTrimmedReference)
+{
+  for (uint64_t seed = 0; seed < 20u; ++seed) {
+    std::mt19937_64 rng{0x7123u + seed};
+    const std::size_t nodes = 1u + rng() % 24u;
+    const std::size_t base = rng() % 5u; // 0 = fully word-major store
+    signature_store trimmed(nodes, base);
+    signature_store reference(nodes, base);
+
+    for (std::size_t step = 0; step < 120u; ++step) {
+      const uint64_t action = rng() % 4u;
+      if (action == 0u) {
+        trimmed.append_word();
+        reference.append_word();
+      } else if (action <= 2u &&
+                 trimmed.num_words() > trimmed.first_live_word()) {
+        // Write into a random *live* word of both stores.
+        const std::size_t lo = trimmed.first_live_word();
+        const std::size_t w = lo + rng() % (trimmed.num_words() - lo);
+        const std::size_t n = rng() % nodes;
+        const uint64_t value = rng();
+        trimmed.word(n, w) = value;
+        reference.word(n, w) = value;
+      } else {
+        trimmed.trim_words(rng() % (trimmed.num_words() + 1u));
+      }
+      ASSERT_EQ(trimmed.num_words(), reference.num_words());
+      ASSERT_EQ(trimmed.live_words() + trimmed.words_trimmed(),
+                trimmed.num_words());
+      ASSERT_LE(trimmed.live_bytes(), reference.live_bytes());
+      for (std::size_t n = 0; n < nodes; ++n) {
+        for (std::size_t w = trimmed.first_live_word();
+             w < trimmed.num_words(); ++w) {
+          ASSERT_EQ(trimmed.word(n, w), reference.word(n, w))
+              << "seed " << seed << " node " << n << " word " << w;
+        }
+      }
+    }
+    EXPECT_EQ(reference.words_trimmed(), 0u);
+    EXPECT_EQ(reference.peak_bytes(), reference.live_bytes());
+  }
 }
 
 } // namespace

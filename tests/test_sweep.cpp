@@ -22,11 +22,10 @@ net::aig_network redundant_test_circuit(uint64_t seed, uint32_t gates = 800u)
 TEST(GuidedPatterns, ProvenConstantsAreRealConstants)
 {
   const auto aig = redundant_test_circuit(5u);
-  sat::solver solver;
-  sat::aig_encoder encoder{aig, solver};
+  sat::cnf_manager cnf{aig};
   sweep::guided_pattern_config config;
   config.base_patterns = 256u;
-  const auto result = sweep::sat_guided_patterns(aig, encoder, config);
+  const auto result = sweep::sat_guided_patterns(aig, cnf, config);
 
   // Hidden constants must be found (the generator plants several).
   EXPECT_FALSE(result.proven_constants.empty());
