@@ -30,9 +30,15 @@
 ///
 /// `--ablation` additionally sweeps every instance with the
 /// incremental-CNF and store-budget flags *off* (per-query scratch
-/// encoding, unbounded stores) and asserts the result-gate counts match
-/// the flags-on run exactly — the JSON gains an `stp_flags_off` object
+/// encoding, unbounded stores, full collapsed arena, no target pruning)
+/// *and the opposite CE engine* (resim where the main run used the
+/// collapsed view and vice versa), and asserts the result-gate counts
+/// match the flags-on run exactly — one re-sweep proves both the flag
+/// and the engine dimension.  The JSON gains an `stp_flags_off` object
 /// and an `ablation_match` field per row.
+///
+/// `--ce-engine auto|collapsed|resim` overrides the main run's CE
+/// propagation engine (default: the auto gate-count dispatch).
 ///
 /// `--only <substr>` keeps only benchmarks whose name contains the
 /// substring (repeatable) — used for the committed `--scale 3` smoke
@@ -81,15 +87,26 @@ void write_engine_json(std::FILE* f, const char* key,
                key, static_cast<unsigned long long>(s.sat_calls_total),
                static_cast<unsigned long long>(s.sat_calls_satisfiable),
                static_cast<unsigned long long>(s.merges));
+  // The CE engine the sweep finished with exists only for sweepers
+  // with selectable engines (the STP rows); fraig omits the key.
+  if (s.has_ce_engine) {
+    std::fprintf(f, "\"ce_engine_used\": \"%s\", ",
+                 stps::sweep::ce_engine_name(s.ce_engine_used));
+    if (s.ce_engine_escalated) {
+      std::fprintf(f, "\"ce_engine_escalated\": true, ");
+    }
+  }
   // CE-propagation counters exist only for engines running the collapsed
   // CE simulator; other engines omit the keys entirely so ratio tooling
   // cannot divide by a meaningless zero.
   if (s.has_ce_counters) {
     std::fprintf(f,
                  "\"ce_gates_visited\": %llu, "
-                 "\"ce_gates_scan_baseline\": %llu, ",
+                 "\"ce_gates_scan_baseline\": %llu, "
+                 "\"ce_targets_pruned\": %llu, ",
                  static_cast<unsigned long long>(s.ce_gates_visited),
-                 static_cast<unsigned long long>(s.ce_gates_scan_baseline));
+                 static_cast<unsigned long long>(s.ce_gates_scan_baseline),
+                 static_cast<unsigned long long>(s.ce_targets_pruned));
   }
   std::fprintf(f,
                "\"sat_nodes_encoded\": %llu, \"sat_solver_rebuilds\": %llu, "
@@ -100,10 +117,14 @@ void write_engine_json(std::FILE* f, const char* key,
   if (s.has_store_counters) {
     std::fprintf(f,
                  "\"store_words_live\": %llu, \"store_words_trimmed\": %llu, "
-                 "\"store_peak_bytes\": %llu, ",
+                 "\"store_peak_bytes\": %llu, "
+                 "\"pattern_words_live\": %llu, "
+                 "\"pattern_words_recycled\": %llu, ",
                  static_cast<unsigned long long>(s.store_words_live),
                  static_cast<unsigned long long>(s.store_words_trimmed),
-                 static_cast<unsigned long long>(s.store_peak_bytes));
+                 static_cast<unsigned long long>(s.store_peak_bytes),
+                 static_cast<unsigned long long>(s.pattern_words_live),
+                 static_cast<unsigned long long>(s.pattern_words_recycled));
   }
   std::fprintf(f,
                "\"sim_seconds\": %.6f, \"sat_seconds\": %.6f, "
@@ -166,6 +187,7 @@ int main(int argc, char** argv)
   uint64_t base_patterns = 1024u;
   uint32_t scale = 0;
   bool ablation = false;
+  sweep::ce_engine_kind ce_engine = sweep::ce_engine_kind::automatic;
   std::string json_path;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
@@ -187,6 +209,19 @@ int main(int argc, char** argv)
     }
     if (std::strcmp(argv[i], "--only") == 0) {
       only.emplace_back(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--ce-engine") == 0) {
+      const std::string value = argv[i + 1];
+      if (value == "collapsed") {
+        ce_engine = sweep::ce_engine_kind::collapsed;
+      } else if (value == "resim") {
+        ce_engine = sweep::ce_engine_kind::resim;
+      } else if (value == "auto") {
+        ce_engine = sweep::ce_engine_kind::automatic;
+      } else {
+        std::fprintf(stderr, "unknown --ce-engine %s\n", value.c_str());
+        return 1;
+      }
     }
   }
   scale = std::min(scale, gen::max_sweep_scale); // keep recorded scale honest
@@ -229,6 +264,7 @@ int main(int argc, char** argv)
     net::aig_network by_stp = original;
     sweep::stp_sweep_params params;
     params.guided.base_patterns = base_patterns;
+    params.ce_engine = ce_engine;
     const sweep::sweep_stats ss = sweep::stp_sweep(by_stp, params);
 
     bool ok =
@@ -236,8 +272,10 @@ int main(int argc, char** argv)
         sweep::check_equivalence(original, by_stp).equivalent;
 
     // Ablation proof: flags off (per-query scratch CNF, unbounded
-    // stores) must land on exactly the same result network size, and be
-    // CEC-equivalent — the flags only change when work is paid.
+    // stores, full collapsed arena, no target pruning) *and* the
+    // opposite CE engine must land on exactly the same result network
+    // size, and be CEC-equivalent — flags and engine choice only change
+    // when and where work is paid.
     sweep::sweep_stats as;
     bool ablation_match = false;
     if (ablation) {
@@ -246,6 +284,11 @@ int main(int argc, char** argv)
       off.use_incremental_cnf = false;
       off.sat_clause_budget = 0u;
       off.store_word_budget = 0u;
+      off.ce_prune_targets = false;
+      off.ce_initial_words = 0u;
+      off.ce_engine = ss.ce_engine_used == sweep::ce_engine_kind::collapsed
+                          ? sweep::ce_engine_kind::resim
+                          : sweep::ce_engine_kind::collapsed;
       as = sweep::stp_sweep(by_stp_off, off);
       ablation_match = as.gates_after == ss.gates_after;
       ok = ok && ablation_match &&

@@ -163,12 +163,26 @@ net::klut_network read_blif(std::istream& is)
   std::vector<std::string> names_header;
   std::vector<std::pair<std::string, bool>> cover_rows;
 
+  // Wider covers would allocate 2^k-bit tables (and enumerate up to 2^k
+  // don't-care completions) before any semantic check could reject the
+  // file — malformed input must fail cheaply.  24 fanins (a 2 MiB
+  // table) is far beyond any cover this library writes or any sane
+  // hand-written one, while a corrupted fanin list still dies before
+  // the allocation.
+  constexpr uint32_t max_names_fanins = 24;
+
   const auto flush_names = [&]() {
     if (names_header.empty()) {
       return;
     }
     const std::string& target = names_header.back();
+    if (by_name.count(target) != 0u) {
+      throw std::runtime_error{"blif: duplicate definition of " + target};
+    }
     const uint32_t k = static_cast<uint32_t>(names_header.size() - 1u);
+    if (k > max_names_fanins) {
+      throw std::runtime_error{"blif: too many fanins on " + target};
+    }
     tt::truth_table table{k};
     // Determine polarity: all rows must agree (ON-set or OFF-set).
     bool off_set = false;
@@ -222,6 +236,10 @@ net::klut_network read_blif(std::istream& is)
     if (tokens[0] == ".inputs") {
       flush_names();
       for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (by_name.count(tokens[i]) != 0u) {
+          throw std::runtime_error{"blif: input " + tokens[i] +
+                                   " redeclared"};
+        }
         by_name[tokens[i]] = klut.create_pi(tokens[i]);
       }
       continue;
@@ -247,14 +265,21 @@ net::klut_network read_blif(std::istream& is)
     if (tokens[0][0] == '.') {
       throw std::runtime_error{"blif: unsupported directive " + tokens[0]};
     }
-    // Cover row: "<inputs> <value>" or a bare value for constants.
+    // Cover row: "<inputs> <value>" or a bare value for constants.  The
+    // output value must be a literal 0 or 1 — anything else (including
+    // a truncated line whose value column went missing) is malformed.
     if (names_header.empty()) {
       throw std::runtime_error{"blif: cover row outside .names"};
     }
+    const std::string& value = tokens.back();
+    if (value != "0" && value != "1") {
+      throw std::runtime_error{"blif: bad cover output value '" + value +
+                               "'"};
+    }
     if (tokens.size() == 1u) {
-      cover_rows.emplace_back(std::string{}, tokens[0] == "1");
+      cover_rows.emplace_back(std::string{}, value == "1");
     } else if (tokens.size() == 2u) {
-      cover_rows.emplace_back(tokens[0], tokens[1] == "1");
+      cover_rows.emplace_back(tokens[0], value == "1");
     } else {
       throw std::runtime_error{"blif: malformed cover row"};
     }

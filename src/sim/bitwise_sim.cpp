@@ -14,9 +14,10 @@ signature_store simulate_aig(const net::aig_network& aig,
   }
   const std::size_t words = patterns.num_words();
   signature_store sig(aig.size(), words);
-  // Row 0 (constant zero) stays zero.
+  // Row 0 (constant zero) stays zero.  copy_input_bits stays valid when
+  // counter-example words spilled into pattern tail blocks.
   aig.foreach_pi(
-      [&](net::node n) { sig.assign_row(n, patterns.input_bits(n - 1u)); });
+      [&](net::node n) { patterns.copy_input_bits(n - 1u, sig.row(n)); });
   aig.foreach_gate([&](net::node n) {
     const net::signal a = aig.fanin0(n);
     const net::signal b = aig.fanin1(n);
@@ -44,7 +45,7 @@ signature_store simulate_klut_bitwise(const net::klut_network& klut,
   signature_store sig(klut.size(), words);
   sig.fill_row(1u, ~uint64_t{0}); // constant one
   klut.foreach_pi([&](net::klut_network::node n) {
-    sig.assign_row(n, patterns.input_bits(n - 2u));
+    patterns.copy_input_bits(n - 2u, sig.row(n));
   });
   std::vector<const uint64_t*> ins;
   klut.foreach_gate([&](net::klut_network::node n) {
@@ -89,7 +90,7 @@ void resimulate_aig_last_word(const net::aig_network& aig,
   const std::size_t last = words - 1u;
   signatures.word(0u, last) = 0u;
   aig.foreach_pi([&](net::node n) {
-    signatures.word(n, last) = patterns.input_bits(n - 1u)[last];
+    signatures.word(n, last) = patterns.input_word(n - 1u, last);
   });
   aig.foreach_gate([&](net::node n) {
     const net::signal a = aig.fanin0(n);
@@ -100,6 +101,60 @@ void resimulate_aig_last_word(const net::aig_network& aig,
                         (b.is_complemented() ? ~uint64_t{0} : 0u);
     signatures.word(n, last) = va & vb;
   });
+  signatures.mask_tail(patterns.num_patterns());
+}
+
+void resimulate_aig_all_last_word(const net::aig_network& aig,
+                                  const pattern_set& patterns,
+                                  signature_store& signatures)
+{
+  const std::size_t words = patterns.num_words();
+  if (words == 0u) {
+    return;
+  }
+  if (signatures.size() < aig.size()) {
+    throw std::invalid_argument{
+        "resimulate_aig_all_last_word: store too small"};
+  }
+  while (signatures.num_words() < words) {
+    signatures.append_word();
+  }
+  const std::size_t last = words - 1u;
+  const uint32_t num_pis = aig.num_pis();
+  const std::size_t size = aig.size();
+  if (last >= signatures.base_words()) {
+    // Fully word-major store (the CE-engine case): one contiguous block
+    // holds every node's bits of the recomputed word.
+    uint64_t* const wb = signatures.tail_word(last).data();
+    wb[0] = 0u;
+    for (uint32_t i = 0; i < num_pis; ++i) {
+      wb[aig.pi_at(i)] = patterns.input_word(i, last);
+    }
+    // Ids are topological and every fanin id is smaller, dead or not.
+    for (net::node n = 1u + num_pis; n < size; ++n) {
+      const net::signal a = aig.fanin0(n);
+      const net::signal b = aig.fanin1(n);
+      const uint64_t va =
+          wb[a.get_node()] ^ (a.is_complemented() ? ~uint64_t{0} : 0u);
+      const uint64_t vb =
+          wb[b.get_node()] ^ (b.is_complemented() ? ~uint64_t{0} : 0u);
+      wb[n] = va & vb;
+    }
+  } else {
+    signatures.word(0u, last) = 0u;
+    for (uint32_t i = 0; i < num_pis; ++i) {
+      signatures.word(aig.pi_at(i), last) = patterns.input_word(i, last);
+    }
+    for (net::node n = 1u + num_pis; n < size; ++n) {
+      const net::signal a = aig.fanin0(n);
+      const net::signal b = aig.fanin1(n);
+      const uint64_t va = signatures.word(a.get_node(), last) ^
+                          (a.is_complemented() ? ~uint64_t{0} : 0u);
+      const uint64_t vb = signatures.word(b.get_node(), last) ^
+                          (b.is_complemented() ? ~uint64_t{0} : 0u);
+      signatures.word(n, last) = va & vb;
+    }
+  }
   signatures.mask_tail(patterns.num_patterns());
 }
 

@@ -37,6 +37,19 @@ void resimulate_aig_last_word(const net::aig_network& aig,
                               const pattern_set& patterns,
                               signature_store& signatures);
 
+/// Like `resimulate_aig_last_word`, but evaluates *every* node id —
+/// dead gates included.  Substitutions are function-preserving and a
+/// dead gate keeps the fanin fields it died with, so an id-order pass
+/// over the whole node array yields each node's original function under
+/// the patterns; this is what makes the whole-AIG counter-example
+/// engine (sweep/ce_engine.hpp) bit-identical to the collapsed-view
+/// snapshot even for class members that merged away mid-sweep.  Unlike
+/// the incremental variant, the last word is recomputed entirely from
+/// the pattern words, so earlier signature words need not be live.
+void resimulate_aig_all_last_word(const net::aig_network& aig,
+                                  const pattern_set& patterns,
+                                  signature_store& signatures);
+
 /// Evaluates a single node under a single full input assignment (slow
 /// reference path used by tests and the CEC debug checker).
 bool evaluate_aig_node(const net::aig_network& aig, net::node n,

@@ -3,6 +3,7 @@
 #include "sim/signature_store.hpp" // tail_mask
 
 #include <algorithm>
+#include <cassert>
 #include <random>
 #include <stdexcept>
 
@@ -15,6 +16,8 @@ void pattern_set::grow_stride(std::size_t words)
   if (words <= stride_) {
     return;
   }
+  assert(tail_.empty() && !base_freed_ &&
+         "grow_stride(): pattern set has tail words");
   const std::size_t new_stride =
       std::max({words, stride_ * 2u, std::size_t{2}});
   std::vector<uint64_t> grown(
@@ -26,6 +29,27 @@ void pattern_set::grow_stride(std::size_t words)
   }
   bits_ = std::move(grown);
   stride_ = new_stride;
+}
+
+uint64_t* pattern_set::writable_word_block(std::size_t word)
+{
+  assert(word >= first_live_ && "writable_word_block(): word was recycled");
+  if (word < stride_) {
+    return nullptr; // base words are written input-major via row_data
+  }
+  while (stride_ + tail_.size() <= word) {
+    if (!ring_.empty()) {
+      // Reuse an absorbed counter-example word's block (the ring).
+      std::vector<uint64_t>& block = ring_.back();
+      std::fill(block.begin(), block.end(), 0u);
+      tail_.push_back(std::move(block));
+      ring_.pop_back();
+    } else {
+      tail_.emplace_back(num_inputs_, 0u);
+      ++tail_blocks_allocated_;
+    }
+  }
+  return tail_[word - stride_].data();
 }
 
 pattern_set pattern_set::random(uint32_t num_inputs, uint64_t num_patterns,
@@ -87,7 +111,26 @@ std::span<const uint64_t> pattern_set::input_bits(uint32_t input) const
   if (input >= num_inputs_) {
     throw std::out_of_range{"input_bits: no such input"};
   }
+  assert(num_words() <= stride_ && !base_freed_ &&
+         "input_bits(): pattern set has tail words — use input_word");
   return {row_data(input), num_words()};
+}
+
+void pattern_set::copy_input_bits(uint32_t input,
+                                  std::span<uint64_t> out) const
+{
+  if (input >= num_inputs_) {
+    throw std::out_of_range{"copy_input_bits: no such input"};
+  }
+  const std::size_t base = std::min(out.size(), stride_);
+  if (base_freed_) {
+    std::fill_n(out.data(), base, uint64_t{0});
+  } else {
+    std::copy_n(row_data(input), base, out.data());
+  }
+  for (std::size_t w = base; w < out.size(); ++w) {
+    out[w] = input_word(input, w);
+  }
 }
 
 bool pattern_set::bit(uint32_t input, uint64_t pattern) const
@@ -95,11 +138,14 @@ bool pattern_set::bit(uint32_t input, uint64_t pattern) const
   if (input >= num_inputs_) {
     throw std::out_of_range{"bit: no such input"};
   }
-  return (row_data(input)[pattern >> 6u] >> (pattern & 63u)) & 1u;
+  return (input_word(input, pattern >> 6u) >> (pattern & 63u)) & 1u;
 }
 
 void pattern_set::reserve_patterns(uint64_t total_patterns)
 {
+  if (!tail_.empty() || base_freed_) {
+    return; // tail blocks are per-word; nothing to pre-grow
+  }
   grow_stride((total_patterns + 63u) / 64u);
 }
 
@@ -111,11 +157,22 @@ void pattern_set::add_pattern(const std::vector<bool>& assignment)
   const uint64_t index = num_patterns_;
   const std::size_t word = index >> 6u;
   const uint64_t mask = uint64_t{1} << (index & 63u);
-  grow_stride(word + 1u);
+  // Words within the base capacity stay input-major; the first spill
+  // past it starts the word-major tail (never a base repack).
+  uint64_t* block = nullptr;
+  if (word >= stride_) {
+    block = writable_word_block(word);
+  } else {
+    assert(!base_freed_ && "add_pattern: base arena was trimmed");
+  }
   ++num_patterns_;
   for (uint32_t i = 0; i < num_inputs_; ++i) {
     if (assignment[i]) {
-      row_data(i)[word] |= mask;
+      if (block != nullptr) {
+        block[i] |= mask;
+      } else {
+        row_data(i)[word] |= mask;
+      }
     }
   }
 }
@@ -125,6 +182,28 @@ void pattern_set::add_patterns(std::span<const std::vector<bool>> assignments)
   reserve_patterns(num_patterns_ + assignments.size());
   for (const auto& a : assignments) {
     add_pattern(a);
+  }
+}
+
+void pattern_set::trim_words(std::size_t first_live)
+{
+  first_live = std::min(first_live, num_words());
+  if (first_live <= first_live_) {
+    return;
+  }
+  first_live_ = first_live;
+  if (!base_freed_ && stride_ > 0u && first_live >= stride_ &&
+      num_words() > 0u) {
+    std::vector<uint64_t>{}.swap(bits_);
+    base_freed_ = true;
+  }
+  while (tail_freed_ < tail_.size() && stride_ + tail_freed_ < first_live) {
+    // Absorbed counter-example word: its block goes back to the ring.
+    ring_.push_back(std::move(tail_[tail_freed_]));
+    tail_[tail_freed_].clear();
+    tail_[tail_freed_].shrink_to_fit();
+    ++tail_freed_;
+    ++words_recycled_;
   }
 }
 

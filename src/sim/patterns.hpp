@@ -7,6 +7,27 @@
 /// A *signature* is the ordered set of values a node produces under the
 /// pattern set (see signature_store.hpp); exhaustive sets make
 /// signatures truth tables.
+///
+/// **Layout and the counter-example ring.**  The words dimensioned at
+/// construction time (the *base* — the initial random or exhaustive
+/// patterns) live in one flat input-major arena at a fixed stride.
+/// Words appended later by `add_pattern` (SAT counter-examples, §I) live
+/// in *word-major tail blocks*: one flat `num_inputs`-sized block per
+/// appended word, exactly mirroring `sim::signature_store`.  Appending
+/// therefore never repacks the input-major arena, and one
+/// counter-example's bits — one bit per input of the single open word —
+/// land in one contiguous block.
+///
+/// Sweeping absorbs each counter-example word into its equivalence
+/// classes and never reads it again; `trim_words(first_live)` *recycles*
+/// absorbed words, mirroring `signature_store::trim_words` but returning
+/// each tail block to a free ring instead of the allocator — the next
+/// appended word reuses it.  With the sweeper trimming at its word
+/// budget, the pattern set's live footprint is bounded for the whole
+/// sweep no matter how many counter-examples arrive (the last unbounded
+/// per-sweep structure on the path to ≥ 1M gates).  Indices stay
+/// absolute: `num_words()` never shrinks and reading a recycled word
+/// yields 0.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +36,7 @@
 
 namespace stps::sim {
 
-/// Word-packed pattern set for a fixed number of inputs.  Bit strings of
-/// all inputs live in one flat input-major buffer with grow-by-word
-/// headroom, so appending counter-example patterns (§I) never reallocates
-/// per input.
+/// Word-packed pattern set for a fixed number of inputs.
 class pattern_set
 {
 public:
@@ -40,21 +58,78 @@ public:
   {
     return (num_patterns_ + 63u) / 64u;
   }
+  /// Words living in the input-major base arena; words at or beyond this
+  /// index live in word-major tail blocks.
+  std::size_t base_words() const noexcept { return stride_; }
 
-  /// Bit string of \p input (num_words() words; trailing bits zero).
+  /// Word \p w of \p input's bit string; dispatches across the base
+  /// arena and the tail blocks, and yields 0 for recycled words.
+  uint64_t input_word(uint32_t input, std::size_t w) const noexcept
+  {
+    if (w < stride_) {
+      return base_freed_ ? 0u
+                         : bits_[static_cast<std::size_t>(input) * stride_ + w];
+    }
+    const std::vector<uint64_t>& t = tail_[w - stride_];
+    return t.empty() ? 0u : t[input];
+  }
+
+  /// Contiguous bit string of \p input (num_words() words; trailing bits
+  /// zero).  Valid only while every word lives in the base arena — i.e.
+  /// before any counter-example spilled into a tail block and before any
+  /// trim — which holds for every initial-simulation use.
   std::span<const uint64_t> input_bits(uint32_t input) const;
+
+  /// Copies \p input's first `out.size()` words into \p out (≤
+  /// num_words()): one bulk copy for the base arena, per-word dispatch
+  /// for tail words — the simulators' PI-row load, valid on pattern
+  /// sets with appended counter-example words.
+  void copy_input_bits(uint32_t input, std::span<uint64_t> out) const;
 
   bool bit(uint32_t input, uint64_t pattern) const;
 
-  /// Pre-allocates word capacity for \p total_patterns patterns.
+  /// Pre-allocates base capacity for \p total_patterns patterns; no-op
+  /// once tail words exist (tail blocks are per-word already).
   void reserve_patterns(uint64_t total_patterns);
 
   /// Appends one pattern (e.g. a SAT counter-example, §I).
   void add_pattern(const std::vector<bool>& assignment);
 
-  /// Bulk-appends patterns with a single capacity grow (used when
-  /// counter-examples are batched before re-simulation).
+  /// Bulk-appends patterns (counter-examples batched before
+  /// re-simulation).
   void add_patterns(std::span<const std::vector<bool>> assignments);
+
+  /// \name Memory budget: the counter-example ring
+  /// \{
+  /// Recycles the storage of every word with index < \p first_live
+  /// (clamped to `num_words()`): tail blocks return to the free ring for
+  /// the next appended word, the input-major base arena is freed as a
+  /// whole once every base word is absorbed.  Indices are absolute and
+  /// monotone, exactly as in `signature_store::trim_words`.
+  void trim_words(std::size_t first_live);
+
+  /// First word whose storage is guaranteed live (0 when never trimmed).
+  std::size_t first_live_word() const noexcept { return first_live_; }
+  /// Words whose backing storage was recycled or freed.
+  std::size_t words_trimmed() const noexcept
+  {
+    return (base_freed_ ? stride_ : 0u) + tail_freed_;
+  }
+  /// Words still backed by storage.
+  std::size_t live_words() const noexcept
+  {
+    return num_words() - words_trimmed();
+  }
+  /// Absorbed counter-example words whose block went back to the ring
+  /// (each saves one allocation on a later append).
+  std::size_t words_recycled() const noexcept { return words_recycled_; }
+  /// Tail blocks ever allocated fresh; with the ring this stays near the
+  /// live-word budget instead of growing with the CE count.
+  std::size_t tail_blocks_allocated() const noexcept
+  {
+    return tail_blocks_allocated_;
+  }
+  /// \}
 
 private:
   uint64_t* row_data(uint32_t input) noexcept
@@ -65,13 +140,24 @@ private:
   {
     return bits_.data() + static_cast<std::size_t>(input) * stride_;
   }
-  /// Grows the per-input stride to at least \p words (geometric).
+  /// Grows the base stride to at least \p words; only legal while every
+  /// word still lives in the base arena.
   void grow_stride(std::size_t words);
+  /// Makes word \p word writable, appending tail blocks (recycled from
+  /// the ring when possible) as needed.
+  uint64_t* writable_word_block(std::size_t word);
 
   uint32_t num_inputs_ = 0;
   uint64_t num_patterns_ = 0;
-  std::size_t stride_ = 0;            // words allocated per input
-  std::vector<uint64_t> bits_;        // flat [input-major] bit strings
+  std::size_t stride_ = 0;            // base words allocated per input
+  std::vector<uint64_t> bits_;        // flat input-major base arena
+  std::vector<std::vector<uint64_t>> tail_; // word-major appended words
+  std::vector<std::vector<uint64_t>> ring_; // recycled blocks, ready to reuse
+  std::size_t first_live_ = 0;        // trim high-water mark
+  std::size_t tail_freed_ = 0;        // leading tail blocks recycled
+  bool base_freed_ = false;
+  std::size_t words_recycled_ = 0;
+  std::size_t tail_blocks_allocated_ = 0;
 };
 
 } // namespace stps::sim

@@ -46,6 +46,22 @@ void signature_store::append_word()
   peak_bytes_ = std::max(peak_bytes_, live_bytes());
 }
 
+void signature_store::append_trimmed_word()
+{
+  assert(first_live_ == num_words_ &&
+         "append_trimmed_word(): store already has live words");
+  assert(num_words_ >= stride_ &&
+         "append_trimmed_word(): base words still pending");
+  if (!base_freed_ && stride_ > 0u) {
+    std::vector<uint64_t>{}.swap(data_);
+    base_freed_ = true;
+  }
+  tail_.emplace_back(); // empty block: reads yield 0, never backed
+  ++tail_freed_;
+  ++num_words_;
+  first_live_ = num_words_;
+}
+
 void signature_store::mask_tail(uint64_t num_patterns)
 {
   if (num_words_ == 0u) {

@@ -176,6 +176,14 @@ public:
   /// one O(size) allocation, never a repack of the node-major base.
   void append_word();
 
+  /// Appends one word that is *born trimmed*: it occupies an absolute
+  /// index (keeping later words aligned with the pattern set) but never
+  /// allocates backing storage — reads yield 0, writes are a bug.  Used
+  /// to build reduced simulation arenas whose leading words would be
+  /// absorbed immediately anyway (the collapsed CE view at scale).
+  /// Callable only while the store has no live words yet.
+  void append_trimmed_word();
+
   /// Re-establishes the canonical-tail invariant: bits at or beyond
   /// \p num_patterns in the final word are cleared on every row.
   void mask_tail(uint64_t num_patterns);

@@ -2,33 +2,179 @@
 
 #include <algorithm>
 #include <bit>
+#include <cassert>
 
 namespace stps::sweep {
+
+namespace {
+
+/// Pruned evaluation cones beyond this many gates keep their target a
+/// collapse root instead — bounds the per-refinement replay cost on
+/// pathological single-fanout chains.
+constexpr std::size_t max_pruned_cone_gates = 32;
+
+} // namespace
 
 void ce_simulator::build(const net::aig_network& aig,
                          std::span<const net::node> target_gates,
                          uint32_t collapse_limit,
-                         const sim::pattern_set& patterns)
+                         const sim::pattern_set& patterns,
+                         const ce_build_options& options)
 {
   conv_ = net::aig_to_klut(aig);
+
+  // ---- Target pruning (see file comment). ------------------------------
+  // Collapse targets: without pruning every target; with pruning only
+  // pinned nodes (class representatives) and the fanout frontier —
+  // members the collapse makes roots anyway.  A member is *absorbable*
+  // when its only reference is one live fanout gate; absorbable members
+  // become internal gates of recorded evaluation cones whose leaves are
+  // guaranteed collapse roots (pinned, multi-reference, or PO-driving
+  // nodes) or PIs.
+  pruned_slot_.assign(aig.size(), ~uint32_t{0});
+  cones_.clear();
+  cone_leaves_.clear();
+  cone_ops_.clear();
+  targets_pruned_ = 0;
+
+  std::vector<net::node> kept;
+  kept.reserve(target_gates.size());
+  if (!options.prune_targets) {
+    kept.assign(target_gates.begin(), target_gates.end());
+  } else {
+    std::vector<uint8_t> pin(aig.size(), 0u);
+    for (const net::node p : options.pinned) {
+      pin[p] = 1u;
+    }
+    // Absorbability must mirror the collapse's own root rule (tree_cuts:
+    // a gate with exactly one reference and no PO reference is absorbed)
+    // and must be judged on the *k-LUT* view — complemented POs gain
+    // inverter LUTs there, so an AIG gate driving only a complemented PO
+    // is a plain single-fanout gate in the k-LUT, not a root.
+    const auto& klut = conv_.klut;
+    std::vector<uint32_t> krefs(klut.size(), 0u);
+    std::vector<uint8_t> kpo(klut.size(), 0u);
+    klut.foreach_gate([&](knode n) {
+      for (const knode f : klut.fanins(n)) {
+        ++krefs[f];
+      }
+    });
+    klut.foreach_po([&](knode n, uint32_t) {
+      ++krefs[n];
+      kpo[n] = 1u;
+    });
+    const auto absorbable = [&](net::node x) {
+      if (!aig.is_and(x)) {
+        return false;
+      }
+      const knode kx = conv_.node_map[x];
+      return krefs[kx] == 1u && kpo[kx] == 0u;
+    };
+    // The leaf predicate is fixed before any cone is extracted, so cone
+    // shapes are independent of extraction order; a member whose cone
+    // exceeds the bound reverts to a kept target (later cones may then
+    // evaluate through it — correct, just shared work).
+    const auto is_leaf = [&](net::node x) {
+      return pin[x] != 0u || !absorbable(x);
+    };
+
+    std::vector<net::node> try_prune;
+    for (const net::node m : target_gates) {
+      if (pin[m] == 0u && absorbable(m)) {
+        try_prune.push_back(m);
+      } else {
+        kept.push_back(m);
+      }
+    }
+
+    std::vector<uint32_t> mark(aig.size(), 0u);
+    std::vector<uint32_t> slot_of(aig.size(), 0u);
+    std::vector<net::node> stack, gates, leaves;
+    uint32_t epoch = 0;
+    for (const net::node m : try_prune) {
+      ++epoch;
+      stack.assign(1u, m);
+      gates.assign(1u, m);
+      leaves.clear();
+      mark[m] = epoch;
+      bool too_big = false;
+      while (!stack.empty() && !too_big) {
+        const net::node x = stack.back();
+        stack.pop_back();
+        for (const net::signal f : {aig.fanin0(x), aig.fanin1(x)}) {
+          const net::node fn = f.get_node();
+          if (mark[fn] == epoch) {
+            continue;
+          }
+          mark[fn] = epoch;
+          if (is_leaf(fn)) {
+            slot_of[fn] = static_cast<uint32_t>(leaves.size());
+            leaves.push_back(fn);
+          } else {
+            gates.push_back(fn);
+            stack.push_back(fn);
+            too_big = too_big || gates.size() > max_pruned_cone_gates;
+          }
+        }
+      }
+      if (too_big) {
+        kept.push_back(m);
+        continue;
+      }
+      // Ids are topological, so id order evaluates fanins first; the
+      // target m has the largest id of its private cone and lands last.
+      std::sort(gates.begin(), gates.end());
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        slot_of[gates[i]] = static_cast<uint32_t>(i);
+      }
+      pruned_cone cone;
+      cone.leaves_begin = static_cast<uint32_t>(cone_leaves_.size());
+      cone.num_leaves = static_cast<uint32_t>(leaves.size());
+      cone.gates_begin = static_cast<uint32_t>(cone_ops_.size());
+      cone.num_gates = static_cast<uint32_t>(gates.size());
+      cone_leaves_.insert(cone_leaves_.end(), leaves.begin(), leaves.end());
+      for (const net::node g : gates) {
+        for (const net::signal f : {aig.fanin0(g), aig.fanin1(g)}) {
+          const net::node fn = f.get_node();
+          cone_ops_.push_back(
+              {slot_of[fn], is_leaf(fn), f.is_complemented()});
+        }
+      }
+      pruned_slot_[m] = static_cast<uint32_t>(cones_.size());
+      cones_.push_back(cone);
+      ++targets_pruned_;
+    }
+  }
+
   std::vector<knode> targets;
-  targets.reserve(target_gates.size());
-  for (const net::node n : target_gates) {
+  targets.reserve(kept.size());
+  for (const net::node n : kept) {
     targets.push_back(conv_.node_map[n]);
   }
   collapsed_ = cut::collapse_to_cuts(conv_.klut, targets, collapse_limit);
 
-  // Restrict evaluation to the targets' cones.
+  // Restrict evaluation to the cones of the kept targets *and* of the
+  // pruned cones' leaves — the roots pruned members replay over must be
+  // kept current by add_ce.
   auto& net = collapsed_.net;
   needed_.assign(net.size(), 0u);
   needed_count_ = 0;
   std::vector<knode> frontier;
-  for (const knode t : targets) {
-    const knode m = collapsed_.node_map[t];
+  const auto seed = [&](net::node aig_node) {
+    const knode m = collapsed_.node_map[conv_.node_map[aig_node]];
+    assert(m != ~knode{0} && "CE target/leaf not kept by the collapse");
     if (net.is_gate(m) && !needed_[m]) {
       needed_[m] = 1u;
       ++needed_count_;
       frontier.push_back(m);
+    }
+  };
+  for (const net::node t : kept) {
+    seed(t);
+  }
+  for (const net::node l : cone_leaves_) {
+    if (aig.is_and(l)) {
+      seed(l);
     }
   }
   for (std::size_t i = 0; i < frontier.size(); ++i) {
@@ -43,9 +189,19 @@ void ce_simulator::build(const net::aig_network& aig,
 
   scratch_.reserve(net.max_fanin_size());
   // Fully word-major store: every word is a contiguous tail block, so a
-  // CE's single-word traffic stays in one `size()`-word block.
+  // CE's single-word traffic stays in one `size()`-word block.  Words
+  // before the reduced-arena start are born trimmed: only the open word
+  // is ever re-read (see file comment), so they carry no storage.
+  const std::size_t nw = patterns.num_words();
+  std::size_t start = 0;
+  if (options.initial_words != 0u && nw > options.initial_words) {
+    start = nw - options.initial_words;
+  }
   csig_.reset(net.size(), 0u);
-  for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+  for (std::size_t w = 0; w < start; ++w) {
+    csig_.append_trimmed_word();
+  }
+  for (std::size_t w = start; w < nw; ++w) {
     csig_.append_word();
     simulate_word(patterns, w);
   }
@@ -145,15 +301,44 @@ void ce_simulator::add_ce(const sim::pattern_set& patterns,
   scan_baseline_ += needed_count_;
 }
 
+uint64_t ce_simulator::eval_pruned(const net::aig_network& aig, uint32_t slot,
+                                   const sim::pattern_set& patterns,
+                                   std::size_t word)
+{
+  const pruned_cone& cone = cones_[slot];
+  eval_scratch_.resize(cone.num_leaves + cone.num_gates);
+  // Leaves are never pruned themselves, so this recursion is depth one
+  // and leaves eval_scratch_ untouched.
+  for (uint32_t i = 0; i < cone.num_leaves; ++i) {
+    eval_scratch_[i] =
+        node_word(aig, cone_leaves_[cone.leaves_begin + i], patterns, word);
+  }
+  for (uint32_t g = 0; g < cone.num_gates; ++g) {
+    uint64_t vals[2];
+    for (uint32_t side = 0; side < 2u; ++side) {
+      const cone_op& op = cone_ops_[cone.gates_begin + 2u * g + side];
+      const uint64_t v = op.is_leaf
+                             ? eval_scratch_[op.index]
+                             : eval_scratch_[cone.num_leaves + op.index];
+      vals[side] = op.complement ? ~v : v;
+    }
+    eval_scratch_[cone.num_leaves + g] = vals[0] & vals[1];
+  }
+  return eval_scratch_[cone.num_leaves + cone.num_gates - 1u];
+}
+
 uint64_t ce_simulator::node_word(const net::aig_network& aig, net::node n,
                                  const sim::pattern_set& patterns,
-                                 std::size_t word) const
+                                 std::size_t word)
 {
   if (aig.is_constant(n)) {
     return 0u;
   }
   if (aig.is_pi(n)) {
-    return patterns.input_bits(n - 1u)[word];
+    return patterns.input_word(n - 1u, word);
+  }
+  if (pruned_slot_[n] != ~uint32_t{0}) {
+    return eval_pruned(aig, pruned_slot_[n], patterns, word);
   }
   const knode m = collapsed_.node_map[conv_.node_map[n]];
   return csig_.word(m, word);
@@ -167,7 +352,7 @@ void ce_simulator::simulate_word(const sim::pattern_set& patterns,
   wb[0] = 0u;
   wb[1] = ~uint64_t{0};
   net.foreach_pi(
-      [&](knode n) { wb[n] = patterns.input_bits(n - 2u)[word]; });
+      [&](knode n) { wb[n] = patterns.input_word(n - 2u, word); });
   std::vector<uint64_t> ins;
   net.foreach_gate([&](knode n) {
     if (!needed_[n]) {

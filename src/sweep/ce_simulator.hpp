@@ -28,6 +28,31 @@
 /// pattern words produces — so clean cones need no work at all.  Every
 /// consumer masks the open word with sim::tail_mask, so the padding is
 /// never observable.
+///
+/// **Target pruning** (`ce_build_options::prune_targets`).  Keeping
+/// every equivalence-class member observable forces the tree-cut
+/// collapse to make each one a root, even members whose only reference
+/// is a single fanout gate.  Pruning keeps as explicit collapse targets
+/// only the *pinned* nodes (the sweeper passes class representatives)
+/// plus the *fanout frontier* — members that are multi-fanout or drive a
+/// PO, which the collapse promotes to roots anyway, so they cost
+/// nothing.  Each pruned member records a small *evaluation cone* at
+/// build time: its private single-fanout gates down to mapped roots /
+/// PIs.  `node_word` of a pruned member replays that cone over the
+/// roots' current words, so refinement reads the bit-identical value it
+/// would have read from an unpruned build — pruning changes where a
+/// member's word is computed, never what it is.  Members whose private
+/// cone would exceed a small bound stay targets.
+///
+/// **Reduced initial arena** (`ce_build_options::initial_words`).  Only
+/// the *open* (partially filled) pattern word is ever re-read after
+/// build — earlier words' refinement information is already absorbed by
+/// the equivalence classes the sweeper built from the candidate store.
+/// At scale the full initial simulation of the collapsed view is
+/// therefore a pure build-time memory spike; `initial_words = k`
+/// simulates only the trailing k words and appends the rest *born
+/// trimmed* (absolute indices preserved, no storage).  0 keeps the full
+/// arena (the unbounded ablation baseline).
 #pragma once
 
 #include "core/stp_eval.hpp"
@@ -43,26 +68,43 @@
 
 namespace stps::sweep {
 
+/// Build-time policy of the collapsed CE view (see file comment).
+struct ce_build_options
+{
+  /// Nodes that must stay observable even under pruning (class
+  /// representatives).  Ignored unless `prune_targets` is set.
+  std::span<const net::node> pinned = {};
+  /// Prune collapse targets to pinned nodes + the fanout frontier;
+  /// pruned members are answered through recorded evaluation cones.
+  bool prune_targets = false;
+  /// Trailing pattern words simulated at build; 0 = all words.
+  uint32_t initial_words = 0;
+};
+
 class ce_simulator
 {
 public:
   using knode = net::klut_network::node;
 
   /// Converts \p aig to a k-LUT network, collapses it to tree cuts that
-  /// keep \p target_gates observable, restricts evaluation to the
-  /// targets' cones, and simulates all of \p patterns.
+  /// keep \p target_gates observable (all of them, or the pruned subset
+  /// selected by \p options), restricts evaluation to the targets'
+  /// cones, and simulates the trailing `options.initial_words` words of
+  /// \p patterns.
   void build(const net::aig_network& aig,
              std::span<const net::node> target_gates, uint32_t collapse_limit,
-             const sim::pattern_set& patterns);
+             const sim::pattern_set& patterns,
+             const ce_build_options& options = {});
 
   /// Absorbs the newest pattern (already appended to \p patterns) by
   /// propagating its single bit through the disturbed cone only.
   void add_ce(const sim::pattern_set& patterns, const std::vector<bool>& ce);
 
   /// Signature word of an original AIG node (constant, PI, or target).
+  /// Pruned targets are answered by replaying their evaluation cone
+  /// (live scratch, hence non-const).
   uint64_t node_word(const net::aig_network& aig, net::node n,
-                     const sim::pattern_set& patterns,
-                     std::size_t word) const;
+                     const sim::pattern_set& patterns, std::size_t word);
 
   /// \name Output-sensitivity counters
   /// \{
@@ -74,6 +116,9 @@ public:
   uint64_t ce_gates_scan_baseline() const noexcept { return scan_baseline_; }
   /// Needed gates in the collapsed view (the per-CE scan cost replaced).
   std::size_t needed_gate_count() const noexcept { return needed_count_; }
+  /// Targets answered through evaluation cones instead of collapse
+  /// roots.
+  std::size_t targets_pruned() const noexcept { return targets_pruned_; }
   /// \}
 
   /// Frees the storage of collapsed signature words with index
@@ -88,10 +133,29 @@ public:
   const sim::signature_store& store() const noexcept { return csig_; }
 
 private:
+  /// One operand of a pruned-cone gate: a leaf slot or an earlier cone
+  /// gate, with the fanin complement folded in.
+  struct cone_op
+  {
+    uint32_t index;  ///< leaf slot (is_leaf) or cone-gate slot
+    bool is_leaf;
+    bool complement;
+  };
+  /// Evaluation cone of one pruned target; gates in topological order,
+  /// the last gate is the target itself.
+  struct pruned_cone
+  {
+    uint32_t leaves_begin, num_leaves;
+    uint32_t gates_begin, num_gates; ///< 2 cone_ops per gate
+  };
+
   /// Full-word STP pass (initial simulation at build time only).
   void simulate_word(const sim::pattern_set& patterns, std::size_t word);
   /// Opens tail word \p word with every node's padding default.
   void open_word(std::size_t word);
+  /// Replays cone \p slot over the roots' words.
+  uint64_t eval_pruned(const net::aig_network& aig, uint32_t slot,
+                       const sim::pattern_set& patterns, std::size_t word);
 
   net::aig_to_klut_result conv_;
   cut::collapse_result collapsed_;
@@ -104,6 +168,14 @@ private:
   /// Worklist bitset over node ids; all-zero between add_ce calls (the
   /// drain clears exactly the bits pushes set).
   std::vector<uint64_t> queued_bits_;
+
+  /// Pruned-target bookkeeping (empty without pruning).
+  std::vector<uint32_t> pruned_slot_; ///< AIG node → cone index or ~0
+  std::vector<pruned_cone> cones_;
+  std::vector<net::node> cone_leaves_;
+  std::vector<cone_op> cone_ops_;
+  std::vector<uint64_t> eval_scratch_;
+  std::size_t targets_pruned_ = 0;
 
   uint64_t gates_visited_ = 0;
   uint64_t scan_baseline_ = 0;

@@ -3,13 +3,13 @@
 #include "core/stp_simulator.hpp"
 #include "network/traversal.hpp"
 #include "sat/cnf_manager.hpp"
-#include "sim/bitwise_sim.hpp"
-#include "sweep/ce_simulator.hpp"
+#include "sweep/ce_engine.hpp"
 #include "sweep/equiv_classes.hpp"
 #include "sweep/tfi_manager.hpp"
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <unordered_map>
 
 namespace stps::sweep {
@@ -214,27 +214,43 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   classes.build(aig, sig, sim::tail_mask(patterns.num_patterns()));
   stats.sim_seconds += seconds_since(t_sim);
 
-  // ---- Collapsed k-LUT view for CE simulation (§III-B, §IV-A). ---------
-  ce_simulator cesim;
-  if (params.use_collapsed_ce_simulation) {
+  // ---- Counter-example propagation engine (§III-B, §IV-A). -------------
+  // Dispatch by instance size (ce_engine.hpp): the collapsed k-LUT view
+  // amortizes on large instances, whole-AIG word resimulation wins below
+  // the threshold.  Targets are every class member whose word refinement
+  // will read; pinned nodes are the class representatives the collapsed
+  // engine keeps observable even under target pruning.
+  ce_engine_kind engine_kind = resolve_ce_engine(
+      params.ce_engine, stats.gates_before, params.ce_engine_gate_threshold);
+  std::unique_ptr<ce_engine> cesim = make_ce_engine(
+      engine_kind, {params.collapse_limit, params.ce_prune_targets,
+                    params.ce_initial_words});
+  {
     t_sim = clock_type::now();
     std::vector<net::node> target_gates;
+    std::vector<net::node> pinned;
     for (uint32_t c = 0; c < classes.num_class_ids(); ++c) {
+      bool have_rep = false;
       for (const net::node m : classes.members(c)) {
         if (aig.is_and(m) && !aig.is_dead(m)) {
           target_gates.push_back(m);
+          if (!have_rep) {
+            pinned.push_back(m); // class representative
+            have_rep = true;
+          }
         }
       }
     }
-    cesim.build(aig, target_gates, params.collapse_limit, patterns);
+    cesim->build(aig, target_gates, pinned, patterns);
     stats.sim_seconds += seconds_since(t_sim);
   }
 
-  // ---- Signature-store word budget. ------------------------------------
+  // ---- Signature-store and pattern word budget. ------------------------
   // Once the classes have been refined with a word, the partition has
   // absorbed everything it says and no code path reads it again — only
   // the *open* (partially filled) word is ever re-read or written.
-  // Trimming frees absorbed words' storage; with the initial build just
+  // Trimming frees absorbed words' storage (and recycles the pattern
+  // set's CE word blocks through its ring); with the initial build just
   // done, that is every base word the moment enough of them accumulate.
   const auto trim_absorbed_words = [&]() {
     if (params.store_word_budget == 0u) {
@@ -247,16 +263,55 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
                                        ? patterns.num_words()
                                        : patterns.num_words() - 1u;
     if (sig.live_words() <= params.store_word_budget &&
-        (!params.use_collapsed_ce_simulation ||
-         cesim.store().live_words() <= params.store_word_budget)) {
+        cesim->store().live_words() <= params.store_word_budget &&
+        patterns.live_words() <= params.store_word_budget) {
       return;
     }
     sig.trim_words(first_live);
-    if (params.use_collapsed_ce_simulation) {
-      cesim.trim_absorbed(first_live);
-    }
+    cesim->trim_absorbed(first_live);
+    patterns.trim_words(first_live);
   };
   trim_absorbed_words(); // base words are absorbed by the initial build
+
+  // ---- Mid-sweep engine escalation (`auto` only). ----------------------
+  // The size dispatch cannot see per-CE disturbance: on deep random
+  // logic every counter-example can flip a large fraction of the needed
+  // gates, and the collapsed worklist (random-access LUT bit lookups)
+  // then loses to one branch-free whole-AIG word pass.  Once the
+  // measured average visited-gates-per-CE crosses the threshold, swap
+  // engines.  The resim engine recomputes the open word entirely from
+  // the pattern set, so the swap carries no state and cannot change
+  // results — the differential harness pins a forced-escalation run
+  // against the pure engines.
+  uint64_t ces_absorbed = 0;
+  bool escalated = false;
+  uint64_t esc_visited = 0, esc_baseline = 0, esc_pruned = 0;
+  uint64_t esc_store_trimmed = 0, esc_store_peak = 0;
+  bool ran_collapsed = engine_kind == ce_engine_kind::collapsed;
+  const auto maybe_escalate = [&]() {
+    if (params.ce_engine != ce_engine_kind::automatic ||
+        params.ce_escalate_per_mille == 0u || escalated ||
+        engine_kind != ce_engine_kind::collapsed || ces_absorbed < 64u) {
+      return;
+    }
+    const uint64_t budget = uint64_t{stats.gates_before} *
+                            params.ce_escalate_per_mille / 1000u *
+                            ces_absorbed;
+    if (cesim->gates_visited() <= budget) {
+      return;
+    }
+    escalated = true;
+    esc_visited = cesim->gates_visited();
+    esc_baseline = cesim->gates_scan_baseline();
+    esc_pruned = cesim->targets_pruned();
+    esc_store_trimmed = cesim->store().words_trimmed();
+    esc_store_peak = cesim->store().peak_bytes();
+    engine_kind = ce_engine_kind::resim;
+    cesim = make_ce_engine(engine_kind, {params.collapse_limit,
+                                         params.ce_prune_targets,
+                                         params.ce_initial_words});
+    cesim->build(aig, {}, {}, patterns);
+  };
 
   // ---- Batched counter-example bookkeeping. ----------------------------
   // CEs land in the open tail word immediately (cesim keeps every bit
@@ -289,7 +344,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
     }
     const std::size_t last = patterns.num_words() - 1u;
     for (const net::node m : members) {
-      sig.word(m, last) = cesim.node_word(aig, m, patterns, last);
+      sig.word(m, last) = cesim->node_word(aig, m, patterns, last);
     }
   };
 
@@ -384,7 +439,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       }
       // Conditions (b)/(c): the candidate's class must see every
       // buffered counter-example bit before its membership is trusted.
-      if (params.use_collapsed_ce_simulation && class_stale(c)) {
+      if (class_stale(c)) {
         t_sim = clock_type::now();
         refine_one_class(c);
         stats.sim_seconds += seconds_since(t_sim);
@@ -469,28 +524,19 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       ++stats.ce_patterns;
       t_sim = clock_type::now();
       const std::vector<bool> ce = cnf.model_inputs();
-      if (params.use_collapsed_ce_simulation) {
-        if (patterns.num_patterns() % 64u == 0u) {
-          refine_all_classes(); // condition (a): word full, flush
-          trim_absorbed_words(); // every word is absorbed now
-        }
-        patterns.add_pattern(ce);
-        cesim.add_ce(patterns, ce);
-        if (!params.use_batched_ce_refinement) {
-          // Ablation: eager per-CE refinement (the seed's behavior),
-          // through the same sync + dense-refinement path as the
-          // batched flush so the two modes cannot drift.
-          refine_all_classes();
-        }
-      } else {
-        if (patterns.num_patterns() % 64u == 0u) {
-          trim_absorbed_words(); // the filled word was refined with eagerly
-        }
-        patterns.add_pattern(ce);
-        sim::resimulate_aig_last_word(aig, patterns, sig);
-        classes.refine_with_word(sig, patterns.num_words() - 1u,
-                                 sim::tail_mask(patterns.num_patterns()));
-        applied_global = patterns.num_patterns();
+      if (patterns.num_patterns() % 64u == 0u) {
+        refine_all_classes(); // condition (a): word full, flush
+        trim_absorbed_words(); // every word is absorbed now
+      }
+      maybe_escalate(); // before the absorb: the old engine is synced
+      patterns.add_pattern(ce);
+      cesim->add_ce(patterns, ce);
+      ++ces_absorbed;
+      if (!params.use_batched_ce_refinement) {
+        // Ablation: eager per-CE refinement (the seed's behavior),
+        // through the same sync + dense-refinement path as the
+        // batched flush so the two modes cannot drift.
+        refine_all_classes();
       }
       stats.sim_seconds += seconds_since(t_sim);
     }
@@ -498,23 +544,32 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
 
   aig.cleanup_dangling();
   stats.gates_after = aig.num_gates();
-  if (params.use_collapsed_ce_simulation) {
+  stats.has_ce_engine = true;
+  stats.ce_engine_used = engine_kind;
+  stats.ce_engine_escalated = escalated;
+  if (ran_collapsed) {
+    // The collapsed engine's output-sensitivity counters, captured at
+    // the escalation point when the sweep switched engines.
     stats.has_ce_counters = true;
-    stats.ce_gates_visited = cesim.ce_gates_visited();
-    stats.ce_gates_scan_baseline = cesim.ce_gates_scan_baseline();
+    stats.ce_gates_visited =
+        escalated ? esc_visited : cesim->gates_visited();
+    stats.ce_gates_scan_baseline =
+        escalated ? esc_baseline : cesim->gates_scan_baseline();
+    stats.ce_targets_pruned =
+        escalated ? esc_pruned : cesim->targets_pruned();
   }
   stats.sat_nodes_encoded = cnf.nodes_encoded();
   stats.sat_solver_rebuilds = cnf.rebuilds();
   stats.sat_clauses_peak = cnf.clauses_peak();
   stats.has_store_counters = true;
-  stats.store_words_live = sig.live_words();
-  stats.store_words_trimmed = sig.words_trimmed();
-  stats.store_peak_bytes = sig.peak_bytes();
-  if (params.use_collapsed_ce_simulation) {
-    stats.store_words_live += cesim.store().live_words();
-    stats.store_words_trimmed += cesim.store().words_trimmed();
-    stats.store_peak_bytes += cesim.store().peak_bytes();
-  }
+  stats.store_words_live = sig.live_words() + cesim->store().live_words();
+  stats.store_words_trimmed = sig.words_trimmed() +
+                              cesim->store().words_trimmed() +
+                              esc_store_trimmed;
+  stats.store_peak_bytes =
+      sig.peak_bytes() + cesim->store().peak_bytes() + esc_store_peak;
+  stats.pattern_words_live = patterns.live_words();
+  stats.pattern_words_recycled = patterns.words_recycled();
   stats.total_seconds = seconds_since(t_total);
   return stats;
 }

@@ -23,7 +23,11 @@
 ///    collapsed with the tree-cut algorithm (§III-B) — not the whole
 ///    AIG.  Absorbing one CE is *output-sensitive*: a fanout-driven
 ///    bitset worklist (sweep/ce_simulator.hpp) touches only the cone the
-///    CE disturbs.
+///    CE disturbs.  Counter-example propagation is a selectable *engine*
+///    (sweep/ce_engine.hpp): profiling shows the collapsed view's build
+///    cost loses to plain whole-AIG word resimulation on sub-10k-gate
+///    instances, so `ce_engine = auto` dispatches by gate count; both
+///    engines are proven result-identical by the differential harness.
 /// 6. **unDET handling**: budget-exhausted queries mark the candidate
 ///    don't-touch (lines 19-21).
 /// 7. **Batched counter-example refinement** (classic FRAIG batching):
@@ -52,7 +56,36 @@ struct stp_sweep_params
   guided_pattern_config guided{};  ///< initial pattern generation
   bool use_guided_patterns = true; ///< ablation B: false = random only
   bool use_window_resolution = true; ///< ablation: exhaustive windows
-  bool use_collapsed_ce_simulation = true; ///< ablation: STP CE windows
+
+  /// Counter-example propagation engine (sweep/ce_engine.hpp): `auto`
+  /// picks whole-AIG word resimulation below `ce_engine_gate_threshold`
+  /// gates and the collapsed k-LUT view at or above it; `collapsed` /
+  /// `resim` force one.  All three settings are result-identical — the
+  /// dispatch moves runtime, never merges.
+  ce_engine_kind ce_engine = ce_engine_kind::automatic;
+  uint32_t ce_engine_gate_threshold = 10'000;
+  /// Mid-sweep escalation, `auto` only: the size dispatch cannot see how
+  /// much of the network each counter-example disturbs, and on deep
+  /// random logic the collapsed view's per-CE worklist can visit a large
+  /// fraction of the needed gates — at which point one branch-free
+  /// whole-AIG word pass is cheaper.  When the *measured* average
+  /// visited-gates-per-CE exceeds `gates × ce_escalate_per_mille / 1000`
+  /// (checked once ≥ 64 CEs were absorbed), the sweep switches to the
+  /// resim engine; the switch is result-identical because the resim
+  /// engine recomputes the open word entirely from the pattern set.
+  /// 0 disables escalation.  Forced `collapsed`/`resim` never switch.
+  uint32_t ce_escalate_per_mille = 125;
+  /// Collapsed engine: prune collapse targets to class representatives
+  /// plus the fanout frontier; pruned members are answered through
+  /// recorded evaluation cones (result-identical, smaller collapsed
+  /// view).  false = every member stays a root (ablation baseline).
+  bool ce_prune_targets = true;
+  /// Collapsed engine: trailing pattern words simulated into the
+  /// collapsed view at build time.  Only the open word is ever re-read,
+  /// so 1 removes the build-time `store_peak_bytes` spike at scale;
+  /// 0 = simulate the full arena (the unbounded ablation baseline).
+  uint32_t ce_initial_words = 1;
+
   /// Ablation: false reverts to eager one-CE-per-word refinement (every
   /// counter-example immediately refines every class).  Both settings
   /// produce the same merges and final network; batching only changes

@@ -6,6 +6,27 @@
 
 namespace stps::sweep {
 
+/// Counter-example propagation engine of the STP sweeper (see
+/// sweep/ce_engine.hpp).  `automatic` dispatches by instance size:
+/// whole-AIG word resimulation below the gate threshold, the collapsed
+/// k-LUT view above it.
+enum class ce_engine_kind : uint8_t
+{
+  automatic = 0,
+  collapsed = 1,
+  resim = 2,
+};
+
+/// Stable name for logs/JSON ("auto", "collapsed", "resim").
+constexpr const char* ce_engine_name(ce_engine_kind kind) noexcept
+{
+  switch (kind) {
+    case ce_engine_kind::collapsed: return "collapsed";
+    case ce_engine_kind::resim: return "resim";
+    default: return "auto";
+  }
+}
+
 struct sweep_stats
 {
   uint32_t gates_before = 0;  ///< "Gate"
@@ -26,11 +47,23 @@ struct sweep_stats
   /// Gates the input-insensitive needed-set scan would have evaluated
   /// for the same counter-examples (needed gates × CE count).
   uint64_t ce_gates_scan_baseline = 0;
-  /// True when the engine ran the collapsed CE simulator and the two
+  /// Class members answered through pruned evaluation cones instead of
+  /// collapse roots (collapsed engine only).
+  uint64_t ce_targets_pruned = 0;
+  /// True when the engine ran the collapsed CE simulator and the
   /// counters above are defined; engines without them (fraig, the
-  /// non-collapsed ablation) must omit the columns instead of printing
+  /// whole-AIG resim engine) must omit the columns instead of printing
   /// zeros (ratio tooling would divide by them).
   bool has_ce_counters = false;
+
+  /// True for sweepers with a selectable CE engine (the STP sweeper);
+  /// `ce_engine_used` is then the engine the sweep *finished* with —
+  /// never `automatic`.  `ce_engine_escalated` marks sweeps that
+  /// started collapsed and switched to resim mid-sweep when the
+  /// measured per-CE disturbance crossed the escalation threshold.
+  bool has_ce_engine = false;
+  ce_engine_kind ce_engine_used = ce_engine_kind::collapsed;
+  bool ce_engine_escalated = false;
 
   /// \name Incremental-CNF counters (cnf_manager)
   /// \{
@@ -45,6 +78,9 @@ struct sweep_stats
   uint64_t store_words_live = 0;    ///< words still backed at sweep end
   uint64_t store_words_trimmed = 0; ///< absorbed words whose storage was freed
   uint64_t store_peak_bytes = 0;    ///< sum of per-store peak footprints
+  /// Pattern-set ring: CE words still backed / recycled into the ring.
+  uint64_t pattern_words_live = 0;
+  uint64_t pattern_words_recycled = 0;
   /// \}
 
   double sim_seconds = 0.0;   ///< "Simulation" (initial + CE)

@@ -106,6 +106,96 @@ TEST(CeSimulator, IncrementalAddCeMatchesRebuild)
   }
 }
 
+TEST(CeSimulator, PrunedTargetsMatchUnprunedWordForWord)
+{
+  // Target pruning (reps + fanout frontier) must change where a member's
+  // word is computed, never its value: every target word of a pruned
+  // build equals the unpruned build, on the initial words and after
+  // counter-examples crossed word boundaries.
+  for (const uint64_t seed : {11u, 47u}) {
+    auto [aig, targets] = make_fixture(seed);
+    auto patterns = sim::pattern_set::random(aig.num_pis(), 200u, seed);
+
+    // Pin every 7th target, mimicking the sweeper's class reps.
+    std::vector<net::node> pinned;
+    for (std::size_t i = 0; i < targets.size(); i += 7u) {
+      pinned.push_back(targets[i]);
+    }
+
+    sweep::ce_simulator plain;
+    plain.build(aig, targets, 8u, patterns);
+    sweep::ce_simulator pruned;
+    sweep::ce_build_options options;
+    options.pinned = pinned;
+    options.prune_targets = true;
+    pruned.build(aig, targets, 8u, patterns, options);
+    ASSERT_GT(pruned.targets_pruned(), 0u) << "fixture prunes nothing";
+    EXPECT_EQ(plain.targets_pruned(), 0u);
+
+    std::mt19937_64 rng{seed * 31u};
+    for (uint32_t i = 0; i < 100u; ++i) {
+      const auto ce = random_assignment(rng, aig.num_pis(), 0.12);
+      patterns.add_pattern(ce);
+      plain.add_ce(patterns, ce);
+      pruned.add_ce(patterns, ce);
+    }
+
+    const uint64_t mask = sim::tail_mask(patterns.num_patterns());
+    for (const net::node n : targets) {
+      for (std::size_t w = 0; w < patterns.num_words(); ++w) {
+        const uint64_t m = w + 1u == patterns.num_words() ? mask
+                                                          : ~uint64_t{0};
+        EXPECT_EQ(pruned.node_word(aig, n, patterns, w) & m,
+                  plain.node_word(aig, n, patterns, w) & m)
+            << "seed " << seed << " node " << n << " word " << w;
+      }
+    }
+    // The pruned collapsed view is smaller, so CE propagation touches
+    // fewer gates for the same counter-examples.
+    EXPECT_LT(pruned.needed_gate_count(), plain.needed_gate_count());
+  }
+}
+
+TEST(CeSimulator, ReducedInitialArenaMatchesOnLiveWords)
+{
+  // With `initial_words = 1` only the open word is simulated at build;
+  // every word at or beyond the reduction start must match the full
+  // build bit for bit, and the skipped words must carry no storage.
+  auto [aig, targets] = make_fixture(19u);
+  auto patterns = sim::pattern_set::random(aig.num_pis(), 200u, 19u);
+  const std::size_t start = patterns.num_words() - 1u;
+
+  sweep::ce_simulator full;
+  full.build(aig, targets, 8u, patterns);
+  sweep::ce_simulator reduced;
+  sweep::ce_build_options options;
+  options.initial_words = 1u;
+  reduced.build(aig, targets, 8u, patterns, options);
+
+  EXPECT_EQ(reduced.store().words_trimmed(), start);
+  EXPECT_EQ(reduced.store().live_words(), 1u);
+  EXPECT_LT(reduced.store().peak_bytes(), full.store().peak_bytes());
+
+  std::mt19937_64 rng{0x9e1u};
+  for (uint32_t i = 0; i < 150u; ++i) {
+    const auto ce = random_assignment(rng, aig.num_pis(), 0.1);
+    patterns.add_pattern(ce);
+    full.add_ce(patterns, ce);
+    reduced.add_ce(patterns, ce);
+  }
+
+  const uint64_t mask = sim::tail_mask(patterns.num_patterns());
+  for (const net::node n : targets) {
+    for (std::size_t w = start; w < patterns.num_words(); ++w) {
+      const uint64_t m = w + 1u == patterns.num_words() ? mask
+                                                        : ~uint64_t{0};
+      EXPECT_EQ(reduced.node_word(aig, n, patterns, w) & m,
+                full.node_word(aig, n, patterns, w) & m)
+          << "node " << n << " word " << w;
+    }
+  }
+}
+
 TEST(CeSimulator, FanoutPropagationVisitsFewerGatesThanNeededScan)
 {
   // The output-sensitivity pin: over a batch of realistic (sparse)

@@ -148,6 +148,66 @@ TEST(Blif, RejectsMalformedInput)
   EXPECT_THROW(io::read_blif(mixed), std::runtime_error);
 }
 
+TEST(Blif, RejectsDuplicateDefinitions)
+{
+  // A signal with two drivers must not silently take the second one.
+  std::stringstream twice{
+      ".model t\n.inputs a b\n.outputs f\n"
+      ".names a f\n1 1\n"
+      ".names b f\n1 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(twice), std::runtime_error);
+  // ... including a .names that overwrites a declared input.
+  std::stringstream drives_pi{
+      ".model t\n.inputs a b\n.outputs f\n"
+      ".names b a\n1 1\n"
+      ".names a f\n1 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(drives_pi), std::runtime_error);
+  std::stringstream dup_input{
+      ".model t\n.inputs a a\n.outputs f\n.names a f\n1 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(dup_input), std::runtime_error);
+}
+
+TEST(Blif, RejectsTruncatedAndOutOfRangeCovers)
+{
+  // Truncated cover line: the input column is shorter than the fanin
+  // list (a classic cut-off file).
+  std::stringstream truncated{
+      ".model t\n.inputs a b c\n.outputs f\n"
+      ".names a b c f\n10 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(truncated), std::runtime_error);
+  // Cover row whose output column is not a literal 0/1 (e.g. the line
+  // lost its value and the next row's inputs slid into its place).
+  std::stringstream bad_value{
+      ".model t\n.inputs a b\n.outputs f\n"
+      ".names a b f\n11 x\n.end\n"};
+  EXPECT_THROW(io::read_blif(bad_value), std::runtime_error);
+  std::stringstream missing_value{
+      ".model t\n.inputs a b\n.outputs f\n"
+      ".names a b f\n11\n.end\n"};
+  EXPECT_THROW(io::read_blif(missing_value), std::runtime_error);
+  // Bad cover character inside the input columns.
+  std::stringstream bad_char{
+      ".model t\n.inputs a b\n.outputs f\n"
+      ".names a b f\n1z 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(bad_char), std::runtime_error);
+}
+
+TEST(Blif, RejectsAbsurdFaninCounts)
+{
+  // A .names with more fanins than any sane cover must fail before the
+  // reader sizes a 2^k-bit table for it.
+  std::string header = ".model t\n.inputs";
+  std::string names = "\n.names";
+  for (int i = 0; i < 40; ++i) {
+    header += " i" + std::to_string(i);
+    names += " i" + std::to_string(i);
+  }
+  names += " f\n";
+  std::stringstream wide{header + "\n.outputs f" + names +
+                         std::string(40u, '1') + " 1\n.end\n"};
+  EXPECT_THROW(io::read_blif(wide), std::runtime_error);
+}
+
 TEST(Bench, ContainsGateLines)
 {
   const auto aig = gen::make_max(4u);

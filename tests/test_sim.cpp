@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 namespace {
 
 using namespace stps;
@@ -44,6 +46,84 @@ TEST(Patterns, AddPatternAppends)
   EXPECT_TRUE(p.bit(2, 0));
   EXPECT_FALSE(p.bit(0, 1));
   EXPECT_TRUE(p.bit(1, 1));
+}
+
+TEST(Patterns, TailBlocksAreWordMajorAndAbsoluteIndexed)
+{
+  // 100 base patterns (2 base words); appends spill into word-major
+  // tail blocks without repacking the base.
+  auto p = sim::pattern_set::random(3u, 100u, 21u);
+  EXPECT_EQ(p.base_words(), 2u);
+  const uint64_t w0 = p.input_word(1u, 0u);
+  std::vector<bool> ones(3u, true);
+  for (uint32_t i = 0; i < 64u; ++i) {
+    p.add_pattern(ones);
+  }
+  EXPECT_EQ(p.num_patterns(), 164u);
+  EXPECT_EQ(p.num_words(), 3u);
+  EXPECT_EQ(p.base_words(), 2u);
+  EXPECT_EQ(p.input_word(1u, 0u), w0) << "base never repacked";
+  // Patterns 100..127 fill the rest of base word 1, 128..163 start tail
+  // word 2.
+  EXPECT_EQ(p.input_word(2u, 1u) >> 36u, (~uint64_t{0}) >> 36u);
+  EXPECT_EQ(p.input_word(0u, 2u), (uint64_t{1} << 36u) - 1u);
+  EXPECT_TRUE(p.bit(0u, 163u));
+}
+
+/// Property (the bounded-ring contract, mirroring the
+/// `test_signature_store` budget tests): under random append/trim
+/// interleavings, every live word of the trimmed pattern set matches an
+/// unbounded reference fed the identical patterns, counters stay
+/// consistent, and absorbed CE word blocks really recycle through the
+/// ring instead of allocating fresh.
+TEST(Patterns, RingInterleavingsMatchUnboundedReference)
+{
+  for (uint64_t seed = 0; seed < 20u; ++seed) {
+    std::mt19937_64 rng{0x9a77u + seed};
+    const uint32_t inputs = 1u + rng() % 12u;
+    const uint64_t base = rng() % 130u;
+    auto trimmed = sim::pattern_set::random(inputs, base, seed);
+    auto reference = sim::pattern_set::random(inputs, base, seed);
+
+    std::vector<bool> assignment(inputs);
+    for (std::size_t step = 0; step < 400u; ++step) {
+      if (rng() % 8u != 0u) {
+        for (uint32_t i = 0; i < inputs; ++i) {
+          assignment[i] = (rng() & 1u) != 0u;
+        }
+        trimmed.add_pattern(assignment);
+        reference.add_pattern(assignment);
+      } else {
+        // Absorb everything but the open word, like the sweeper's
+        // word-budget trim.
+        const std::size_t open = trimmed.num_patterns() % 64u == 0u
+                                     ? trimmed.num_words()
+                                     : trimmed.num_words() - 1u;
+        trimmed.trim_words(open);
+      }
+      ASSERT_EQ(trimmed.num_patterns(), reference.num_patterns());
+      ASSERT_EQ(trimmed.num_words(), reference.num_words());
+      ASSERT_EQ(trimmed.live_words() + trimmed.words_trimmed(),
+                trimmed.num_words());
+      for (uint32_t i = 0; i < inputs; ++i) {
+        for (std::size_t w = trimmed.first_live_word();
+             w < trimmed.num_words(); ++w) {
+          ASSERT_EQ(trimmed.input_word(i, w), reference.input_word(i, w))
+              << "seed " << seed << " input " << i << " word " << w;
+        }
+      }
+    }
+    EXPECT_EQ(reference.words_trimmed(), 0u);
+    EXPECT_EQ(reference.words_recycled(), 0u);
+    EXPECT_LE(trimmed.tail_blocks_allocated(),
+              reference.tail_blocks_allocated());
+    if (trimmed.words_recycled() > 2u) {
+      // The ring bounds fresh allocations: once blocks recycle, appends
+      // reuse them instead of allocating one block per CE word.
+      EXPECT_LT(trimmed.tail_blocks_allocated(),
+                reference.tail_blocks_allocated());
+    }
+  }
 }
 
 TEST(Simulate, AdderComputesArithmetic)

@@ -150,7 +150,8 @@ TEST(StpSweep, AblationFlagsStillSound)
     params.guided.base_patterns = 256u;
     params.use_guided_patterns = variant != 0;
     params.use_window_resolution = variant != 1;
-    params.use_collapsed_ce_simulation = variant != 2;
+    params.ce_engine = variant != 2 ? sweep::ce_engine_kind::automatic
+                                    : sweep::ce_engine_kind::collapsed;
     sweep::stp_sweep(aig, params);
     const auto cec = sweep::check_equivalence(original, aig);
     EXPECT_TRUE(cec.equivalent) << "variant " << variant;
