@@ -29,13 +29,15 @@
 /// original scaled-down suite only.
 ///
 /// `--ablation` additionally sweeps every instance with the
-/// incremental-CNF and store-budget flags *off* (per-query scratch
-/// encoding, unbounded stores, full collapsed arena, no target pruning)
-/// *and the opposite CE engine* (resim where the main run used the
-/// collapsed view and vice versa), and asserts the result-gate counts
-/// match the flags-on run exactly — one re-sweep proves both the flag
-/// and the engine dimension.  The JSON gains an `stp_flags_off` object
-/// and an `ablation_match` field per row.
+/// incremental-CNF, store-budget, and signature-guided-SAT flags *off*
+/// (per-query scratch encoding, unbounded stores, full collapsed arena,
+/// no target pruning, no phase seeding, unrestricted decisions, flat
+/// window support, ungrouped round-2 guidance) *and the opposite CE
+/// engine* (resim where the main run used the collapsed view and vice
+/// versa), and asserts the result-gate counts match the flags-on run
+/// exactly — one re-sweep proves the flag, the engine, and the
+/// SAT-guidance dimensions at once.  The JSON gains an `stp_flags_off`
+/// object and an `ablation_match` field per row.
 ///
 /// `--ce-engine auto|collapsed|resim` overrides the main run's CE
 /// propagation engine (default: the auto gate-count dispatch).
@@ -114,6 +116,21 @@ void write_engine_json(std::FILE* f, const char* key,
                static_cast<unsigned long long>(s.sat_nodes_encoded),
                static_cast<unsigned long long>(s.sat_solver_rebuilds),
                static_cast<unsigned long long>(s.sat_clauses_peak));
+  // Solver search effort, accumulated across garbage epochs — the
+  // satisfiable-call *cost* trajectory the signature-phase and
+  // cone-scoping policies target.  `phase_seed_words` exists only for
+  // sweepers with the phase-seeding policy (the STP rows); fraig omits
+  // the key.
+  std::fprintf(f,
+               "\"sat_conflicts\": %llu, \"sat_decisions\": %llu, "
+               "\"sat_restarts\": %llu, ",
+               static_cast<unsigned long long>(s.sat_conflicts),
+               static_cast<unsigned long long>(s.sat_decisions),
+               static_cast<unsigned long long>(s.sat_restarts));
+  if (s.has_ce_engine) {
+    std::fprintf(f, "\"phase_seed_words\": %llu, ",
+                 static_cast<unsigned long long>(s.phase_seed_words));
+  }
   if (s.has_store_counters) {
     std::fprintf(f,
                  "\"store_words_live\": %llu, \"store_words_trimmed\": %llu, "
@@ -272,10 +289,13 @@ int main(int argc, char** argv)
         sweep::check_equivalence(original, by_stp).equivalent;
 
     // Ablation proof: flags off (per-query scratch CNF, unbounded
-    // stores, full collapsed arena, no target pruning) *and* the
-    // opposite CE engine must land on exactly the same result network
-    // size, and be CEC-equivalent — flags and engine choice only change
-    // when and where work is paid.
+    // stores, full collapsed arena, no target pruning, no signature
+    // phase seeding, unrestricted decisions, flat window support,
+    // ungrouped round-2 guidance) *and* the opposite CE engine must
+    // land on exactly the same result network size, and be
+    // CEC-equivalent — flags and engine choice only change when and
+    // where work is paid, or which (equally valid) counter-examples
+    // steer the refinement there.
     sweep::sweep_stats as;
     bool ablation_match = false;
     if (ablation) {
@@ -286,6 +306,10 @@ int main(int argc, char** argv)
       off.store_word_budget = 0u;
       off.ce_prune_targets = false;
       off.ce_initial_words = 0u;
+      off.use_signature_phase = false;
+      off.use_cone_scoped_decisions = false;
+      off.window_scale_gates = 0u; // flat window support
+      off.guided.round2_group_by_signature = false;
       off.ce_engine = ss.ce_engine_used == sweep::ce_engine_kind::collapsed
                           ? sweep::ce_engine_kind::resim
                           : sweep::ce_engine_kind::collapsed;

@@ -108,7 +108,30 @@ std::string strip(const std::string& s)
   return s.substr(b, e - b);
 }
 
-/// Splits `OP(a, b, ...)` into op + argument names.
+/// A usable signal or gate-type name: nonempty, free of the characters
+/// the grammar itself uses.  Names with embedded parentheses, commas,
+/// '=' or whitespace are always the shrapnel of a malformed line (e.g.
+/// a nested call, a doubled '=', or two tokens run together) — accepting
+/// them would wire the netlist to signals that can never be defined.
+bool valid_name(const std::string& name)
+{
+  if (name.empty()) {
+    return false;
+  }
+  for (const char c : name) {
+    if (c == '(' || c == ')' || c == ',' || c == '=' || c == '#' ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Splits `OP(a, b, ...)` into op + argument names.  Rejects garbage
+/// operand lists *here*, before any of the names reach the definition
+/// table: trailing text after the ')', dangling or doubled commas, and
+/// operands that are not plain names (the old splitter silently dropped
+/// a trailing comma and anything after the close paren).
 bench_def parse_call(const std::string& rhs, std::size_t line)
 {
   const std::size_t open = rhs.find('(');
@@ -117,20 +140,32 @@ bench_def parse_call(const std::string& rhs, std::size_t line)
       close < open) {
     fail(line, "expected OP(args): '" + rhs + "'");
   }
+  if (!strip(rhs.substr(close + 1u)).empty()) {
+    fail(line, "trailing garbage after ')': '" + rhs + "'");
+  }
   bench_def def;
   def.op = strip(rhs.substr(0, open));
-  std::string args = rhs.substr(open + 1u, close - open - 1u);
-  std::stringstream ss{args};
-  std::string arg;
-  while (std::getline(ss, arg, ',')) {
-    arg = strip(arg);
-    if (arg.empty()) {
-      fail(line, "empty argument in '" + rhs + "'");
-    }
-    def.args.push_back(arg);
+  if (!valid_name(def.op)) {
+    fail(line, "missing or malformed gate type in '" + rhs + "'");
   }
-  if (def.op.empty()) {
-    fail(line, "missing gate type in '" + rhs + "'");
+  const std::string args = rhs.substr(open + 1u, close - open - 1u);
+  if (!strip(args).empty()) {
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t comma = args.find(',', begin);
+      const std::string arg =
+          strip(comma == std::string::npos
+                    ? args.substr(begin)
+                    : args.substr(begin, comma - begin));
+      if (!valid_name(arg)) {
+        fail(line, "empty or malformed argument in '" + rhs + "'");
+      }
+      def.args.push_back(arg);
+      if (comma == std::string::npos) {
+        break;
+      }
+      begin = comma + 1u;
+    }
   }
   return def;
 }
@@ -169,8 +204,8 @@ net::aig_network read_bench(std::istream& is)
       continue;
     }
     const std::string name = strip(line.substr(0, eq));
-    if (name.empty()) {
-      fail(line_no, "missing signal name");
+    if (!valid_name(name)) {
+      fail(line_no, "missing or malformed signal name");
     }
     const bench_def def = parse_call(line.substr(eq + 1u), line_no);
     if (!defs.emplace(name, std::make_pair(def, line_no)).second) {

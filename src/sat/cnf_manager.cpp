@@ -2,10 +2,40 @@
 
 namespace stps::sat {
 
+namespace {
+
+void accumulate(solver_stats& into, const solver_stats& s)
+{
+  into.decisions += s.decisions;
+  into.propagations += s.propagations;
+  into.conflicts += s.conflicts;
+  into.restarts += s.restarts;
+  into.learnt_clauses += s.learnt_clauses;
+  into.solve_calls += s.solve_calls;
+}
+
+} // namespace
+
 cnf_manager::cnf_manager(const net::aig_network& aig, params p)
     : aig_{aig}, params_{p}, solver_{std::make_unique<solver>()},
-      encoder_{std::make_unique<aig_encoder>(aig_, *solver_)}
+      encoder_{std::make_unique<aig_encoder>(
+          aig_, *solver_, aig_encoder::options{p.cone_scoped_decisions})},
+      reseed_on_{p.phase_reseed_sat_per_mille != 0u}
 {
+  encoder_->set_phase_reseed(reseed_on_);
+}
+
+void cnf_manager::set_phase_hints(aig_encoder::phase_hint_fn hints)
+{
+  phase_hints_ = std::move(hints);
+  encoder_->set_phase_hints(phase_hints_);
+}
+
+solver_stats cnf_manager::solver_statistics() const noexcept
+{
+  solver_stats total = stats_retired_;
+  accumulate(total, solver_->stats());
+  return total;
 }
 
 void cnf_manager::begin_query()
@@ -20,34 +50,85 @@ void cnf_manager::begin_query()
     return;
   }
   // New epoch: retire the pair, start empty.  The encoder must be
-  // destroyed first (it references the solver).
+  // destroyed first (it references the solver).  Counters and solver
+  // search stats are retired into running sums first — rebuilds are a
+  // memory policy and must never reset the sweep's statistics.
   nodes_encoded_retired_ += encoder_->num_encoded_nodes();
+  phase_seeds_retired_ += encoder_->phase_seeds();
+  accumulate(stats_retired_, solver_->stats());
   ++rebuilds_;
+  if (params_.incremental && params_.cone_scoped_decisions) {
+    // Garbage epoch with live cones ahead: carry learned phases and
+    // activities over, replayed as nodes re-encode.  Non-incremental
+    // per-query rebuilds stay cold — that ablation is the from-scratch
+    // baseline.
+    encoder_->snapshot_var_state(carried_);
+    have_carried_ = true;
+  }
   encoder_.reset();
   solver_ = std::make_unique<solver>();
-  encoder_ = std::make_unique<aig_encoder>(aig_, *solver_);
+  encoder_ = std::make_unique<aig_encoder>(
+      aig_, *solver_, aig_encoder::options{params_.cone_scoped_decisions});
+  if (have_carried_) {
+    encoder_->set_carried_state(&carried_);
+  }
+  if (phase_hints_) {
+    encoder_->set_phase_hints(phase_hints_);
+  }
+  encoder_->set_phase_reseed(reseed_on_);
   used_ = true;
+}
+
+void cnf_manager::note_answer(bool satisfiable)
+{
+  ++queries_seen_;
+  if (satisfiable) {
+    ++sat_seen_;
+  }
+  if (reseed_on_ && queries_seen_ >= params_.phase_reseed_warmup &&
+      sat_seen_ * 1000u >
+          uint64_t{params_.phase_reseed_sat_per_mille} * queries_seen_) {
+    // Satisfiable answers are frequent: counter-example diversity now
+    // matters more than cheap UNSAT searches.  The switch is monotone —
+    // once off, re-seeding stays off for the rest of the sweep.
+    reseed_on_ = false;
+    encoder_->set_phase_reseed(false);
+  }
 }
 
 result cnf_manager::prove_equivalent(net::signal a, net::signal b,
                                      bool complement, int64_t conflict_budget)
 {
   begin_query();
-  return encoder_->prove_equivalent(a, b, complement, conflict_budget);
+  const result r = encoder_->prove_equivalent(a, b, complement,
+                                              conflict_budget);
+  note_answer(r == result::sat);
+  return r;
 }
 
 result cnf_manager::prove_constant(net::signal f, bool value,
                                    int64_t conflict_budget)
 {
+  // Guided-round query: a satisfiable model becomes a simulation
+  // pattern, so its diversity is the whole point — never re-seed it
+  // toward the seed pattern, and keep its (intentionally satisfiable)
+  // outcome out of the adaptive statistics.
   begin_query();
-  return encoder_->prove_constant(f, value, conflict_budget);
+  encoder_->set_phase_reseed(false);
+  const result r = encoder_->prove_constant(f, value, conflict_budget);
+  encoder_->set_phase_reseed(reseed_on_);
+  return r;
 }
 
 std::optional<std::vector<bool>> cnf_manager::find_assignment(
     net::signal f, bool value, int64_t conflict_budget)
 {
+  // Pattern-generation query — same exemption as prove_constant.
   begin_query();
-  return encoder_->find_assignment(f, value, conflict_budget);
+  encoder_->set_phase_reseed(false);
+  auto witness = encoder_->find_assignment(f, value, conflict_budget);
+  encoder_->set_phase_reseed(reseed_on_);
+  return witness;
 }
 
 std::vector<bool> cnf_manager::model_inputs() const

@@ -48,6 +48,34 @@ public:
     /// Rebuild the solver when problem + learnt clauses exceed this
     /// (checked at query entry); 0 = never rebuild.
     uint64_t clause_budget = 0;
+    /// Cone-aware query scoping (aig_encoder::options): decisions and
+    /// thereby conflict-driven activity bumps are restricted to each
+    /// query's union cone, and saved phases + normalized activities
+    /// survive garbage epochs for cones that re-encode (the snapshot is
+    /// taken at teardown and replayed as nodes re-encode; per-query
+    /// scratch rebuilds of the non-incremental ablation stay cold —
+    /// they are the baseline the carry-over is measured against).
+    /// false = unrestricted decisions, cold rebuilds.
+    bool cone_scoped_decisions = true;
+    /// Adaptive per-query phase re-seeding (active only while phase
+    /// hints are installed, and only for *equivalence* queries —
+    /// guided pattern-generation queries are exempt: their satisfiable
+    /// models become simulation patterns, so their diversity is the
+    /// whole point and their outcomes are intentional).  Re-seeding
+    /// every equivalence query's cone from the signature hints makes
+    /// UNSAT-bound searches drastically cheaper (arithmetic instances:
+    /// nearly every query is a proof — mult96r's SAT time drops ~10×),
+    /// but it also biases every satisfiable model toward the seed
+    /// pattern — and on deep-random logic the near-duplicate
+    /// counter-examples refine so little that the sweep pays *more*
+    /// satisfiable calls than the cheaper searches save.  The two
+    /// regimes announce themselves: once at least
+    /// `phase_reseed_warmup` equivalence queries ran and the measured
+    /// satisfiable fraction exceeds this many per mille, re-seeding
+    /// switches off for the rest of the sweep (encode-time seeds keep
+    /// applying).  0 = never re-seed per query.
+    uint32_t phase_reseed_sat_per_mille = 125;
+    uint64_t phase_reseed_warmup = 64;
   };
 
   /// \p aig must outlive the manager (the encoder keeps a reference).
@@ -85,25 +113,52 @@ public:
   /// with a finite `clause_budget` this is (budget + one query's cone)
   /// bounded, without one it grows with the sweep.
   uint64_t clauses_peak() const noexcept { return clauses_peak_; }
+  /// Cone-variable phases seeded from signature hints, all epochs.
+  uint64_t phase_seeds() const noexcept
+  {
+    return phase_seeds_retired_ + encoder_->phase_seeds();
+  }
   /// \}
 
-  const solver_stats& solver_statistics() const noexcept
-  {
-    return solver_->stats();
-  }
+  /// Installs (or clears, with nullptr) the per-node branching-phase
+  /// provider (aig_encoder::set_phase_hints); re-installed automatically
+  /// on every rebuild, so hints survive garbage epochs.  The provider
+  /// must outlive the manager or be cleared before its captures die.
+  void set_phase_hints(aig_encoder::phase_hint_fn hints);
+
+  /// Solver search counters *accumulated across every rebuild* — garbage
+  /// epochs and per-query scratch teardowns retire the live solver's
+  /// stats into a running sum, so decisions/conflicts/restarts count the
+  /// whole sweep, never just the current epoch.
+  solver_stats solver_statistics() const noexcept;
+
+  /// True while per-query phase re-seeding is still live (diagnostic;
+  /// meaningful only when phase hints are installed).
+  bool phase_reseed_live() const noexcept { return reseed_on_; }
 
 private:
   /// Applies the rebuild policy; called at every query entry.
   void begin_query();
+  /// Feeds the adaptive re-seeding switch with a query's outcome.
+  void note_answer(bool satisfiable);
 
   const net::aig_network& aig_;
   params params_;
   std::unique_ptr<solver> solver_;
   std::unique_ptr<aig_encoder> encoder_;
+  aig_encoder::phase_hint_fn phase_hints_;
+  /// Learned phase/activity carried across garbage epochs (see params).
+  aig_encoder::var_state_snapshot carried_;
+  bool have_carried_ = false;
   bool used_ = false; ///< a query ran in the current epoch
+  bool reseed_on_ = true;     ///< adaptive per-query re-seeding state
+  uint64_t queries_seen_ = 0; ///< answers observed (all epochs)
+  uint64_t sat_seen_ = 0;     ///< satisfiable answers observed
   uint64_t nodes_encoded_retired_ = 0;
+  uint64_t phase_seeds_retired_ = 0;
   uint64_t rebuilds_ = 0;
   uint64_t clauses_peak_ = 0;
+  solver_stats stats_retired_; ///< stats of torn-down solvers, summed
 };
 
 } // namespace stps::sat

@@ -7,16 +7,63 @@ namespace stps::sat {
 
 namespace {
 constexpr var no_fanin = ~var{0};
+constexpr net::node no_node = ~net::node{0};
 } // namespace
 
-aig_encoder::aig_encoder(const net::aig_network& aig, solver& s)
-    : aig_{aig}, solver_{s}, node_var_(aig.size(), 0u)
+aig_encoder::aig_encoder(const net::aig_network& aig, solver& s, options opt)
+    : aig_{aig}, solver_{s}, opt_{opt}, node_var_(aig.size(), 0u)
 {
-  const_var_ = solver_.new_var();
+  // The constant node's variable is fixed at level 0 — never branched
+  // on, so it is registered as an auxiliary (no phase/activity replay).
+  const_var_ = make_var(no_node, no_fanin, no_fanin);
   solver_.add_clause({lit{const_var_, true}}); // constant node is false
   node_var_[0] = const_var_ + 1u;
-  var_fanins_.push_back({no_fanin, no_fanin});
+}
+
+var aig_encoder::make_var(net::node n, var fanin0, var fanin1)
+{
+  const var v = solver_.new_var();
+  var_fanins_.push_back({fanin0, fanin1});
+  var_node_.push_back(n);
   scope_mark_.push_back(0u);
+  if (n == no_node) {
+    return v;
+  }
+  if (carried_ != nullptr && n < carried_->phase.size() &&
+      carried_->phase[n] >= 0) {
+    // A garbage epoch dropped this node's old variable; the cone is
+    // still live (it is re-encoding), so restore what the previous
+    // epoch's search learned about it — fresher than the simulation
+    // hint below.
+    solver_.set_phase(v, carried_->phase[n] != 0);
+    solver_.set_var_activity(v, carried_->activity[n]);
+    return v;
+  }
+  if (phase_hints_) {
+    // Encode-time seed: the variable's very first branch is simulation-
+    // consistent even after per-query re-seeding has been switched off
+    // (phase saving evolves freely from here).
+    const int hint = phase_hints_(n);
+    if (hint >= 0) {
+      solver_.set_phase(v, hint != 0);
+      ++phase_seeds_;
+    }
+  }
+  return v;
+}
+
+void aig_encoder::snapshot_var_state(var_state_snapshot& out) const
+{
+  out.phase.assign(aig_.size(), int8_t{-1});
+  out.activity.assign(aig_.size(), 0.0f);
+  for (net::node n = 0; n < node_var_.size(); ++n) {
+    if (node_var_[n] == 0u || n >= out.phase.size()) {
+      continue;
+    }
+    const var v = node_var_[n] - 1u;
+    out.phase[n] = solver_.saved_phase(v) ? int8_t{1} : int8_t{0};
+    out.activity[n] = static_cast<float>(solver_.normalized_activity(v));
+  }
 }
 
 lit aig_encoder::literal(net::signal f)
@@ -35,9 +82,7 @@ lit aig_encoder::literal(net::signal f)
         continue;
       }
       if (aig_.is_pi(n)) {
-        node_var_[n] = solver_.new_var() + 1u;
-        var_fanins_.push_back({no_fanin, no_fanin});
-        scope_mark_.push_back(0u);
+        node_var_[n] = make_var(n, no_fanin, no_fanin) + 1u;
         stack.pop_back();
         continue;
       }
@@ -57,11 +102,9 @@ lit aig_encoder::literal(net::signal f)
         }
         continue;
       }
-      const var vn = solver_.new_var();
+      const var vn = make_var(n, node_var_[a.get_node()] - 1u,
+                              node_var_[b.get_node()] - 1u);
       node_var_[n] = vn + 1u;
-      var_fanins_.push_back({node_var_[a.get_node()] - 1u,
-                             node_var_[b.get_node()] - 1u});
-      scope_mark_.push_back(0u);
       ++encoded_count_;
       const lit ln{vn, false};
       const lit la{node_var_[a.get_node()] - 1u, a.is_complemented()};
@@ -78,6 +121,10 @@ lit aig_encoder::literal(net::signal f)
 
 void aig_encoder::scope_query(std::span<const lit> roots, var extra)
 {
+  const bool reseed = phase_hints_ != nullptr && reseed_phases_;
+  if (!opt_.cone_scoped_decisions && !reseed) {
+    return; // nothing to do per query — no closure pass to pay for
+  }
   ++scope_epoch_;
   scope_vars_.clear();
   for (const lit r : roots) {
@@ -97,10 +144,30 @@ void aig_encoder::scope_query(std::span<const lit> roots, var extra)
       }
     }
   }
-  if (extra != no_fanin) {
-    scope_vars_.push_back(extra);
+  if (reseed) {
+    // Re-seed every cone variable's saved polarity: together the seeds
+    // form one simulation-consistent assignment, and an UNSAT-bound
+    // search (the overwhelmingly common case while re-seeding is live —
+    // see cnf_manager's adaptive switch) refutes it far faster than the
+    // phases left over from unrelated earlier cones.
+    for (const var v : scope_vars_) {
+      const net::node n = var_node_[v];
+      if (n == no_node) {
+        continue;
+      }
+      const int hint = phase_hints_(n);
+      if (hint >= 0) {
+        solver_.set_phase(v, hint != 0);
+        ++phase_seeds_;
+      }
+    }
   }
-  solver_.set_decision_vars(scope_vars_);
+  if (opt_.cone_scoped_decisions) {
+    if (extra != no_fanin) {
+      scope_vars_.push_back(extra);
+    }
+    solver_.set_decision_vars(scope_vars_);
+  }
 }
 
 result aig_encoder::prove_equivalent(net::signal a, net::signal b,
@@ -112,9 +179,7 @@ result aig_encoder::prove_equivalent(net::signal a, net::signal b,
   // XOR output variable is reused across queries and its defining
   // clauses are retracted afterwards.
   if (xor_var_ == 0u) {
-    xor_var_ = solver_.new_var() + 1u;
-    var_fanins_.push_back({no_fanin, no_fanin}); // keep var-indexed arrays
-    scope_mark_.push_back(0u);                   // aligned with solver vars
+    xor_var_ = make_var(no_node, no_fanin, no_fanin) + 1u;
   }
   const lit t{xor_var_ - 1u, false};
   const lit roots[2] = {la, lb};
@@ -170,7 +235,8 @@ std::optional<std::vector<bool>> aig_encoder::find_assignment(
   scope_query(std::span<const lit>{&lf, 1u}, no_fanin);
   const lit assumption = value ? lf : ~lf;
   const result r =
-      solver_.solve(std::span<const lit>{&assumption, 1u}, conflict_budget);
+      solver_.solve(std::span<const lit>{&assumption, 1u},
+                    conflict_budget);
   if (r != result::sat) {
     return std::nullopt;
   }

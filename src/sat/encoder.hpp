@@ -11,6 +11,7 @@
 #include "network/aig.hpp"
 #include "sat/solver.hpp"
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -19,10 +20,71 @@ namespace stps::sat {
 class aig_encoder
 {
 public:
+  struct options
+  {
+    /// Restrict each query's decisions to its union cone
+    /// (solver::set_decision_vars over the encoded support closure).
+    /// Conflict-driven activity bumping is thereby limited to the
+    /// current cone too: variables outside it never enter the decision
+    /// heap, so stale high-activity variables of long-dead queries
+    /// cannot steer the search.  false = unrestricted decisions over
+    /// every encoded variable (ablation baseline).
+    bool cone_scoped_decisions = true;
+  };
+
+  /// Branching-phase hint for a node: -1 = no hint, otherwise the value
+  /// (0/1) the solver should try first — typically the node's value
+  /// under a simulation pattern, so seeded cone phases form one
+  /// simulation-consistent assignment.
+  using phase_hint_fn = std::function<int(net::node)>;
+
+  /// Per-node snapshot of learned solver state — saved phase and
+  /// normalized VSIDS activity — taken before a garbage-epoch teardown
+  /// and replayed onto the variables of whichever cones re-encode in
+  /// the next epoch (still-live cones keep what the search learned).
+  struct var_state_snapshot
+  {
+    std::vector<int8_t> phase;    ///< node → -1 (not encoded) or 0/1
+    std::vector<float> activity;  ///< node → normalized activity
+  };
+
   /// The encoder keeps references; \p aig and \p s must outlive it.
   /// Substitutions may kill encoded nodes — encoded clauses stay valid
   /// because proven-equivalent literals are constrained equal anyway.
-  aig_encoder(const net::aig_network& aig, solver& s);
+  aig_encoder(const net::aig_network& aig, solver& s, options opt);
+  aig_encoder(const net::aig_network& aig, solver& s)
+      : aig_encoder(aig, s, options{})
+  {
+  }
+
+  /// Installs (or clears, with nullptr) the phase-hint provider.  Each
+  /// variable's saved polarity is seeded from the hint when its node
+  /// encodes, and — while `set_phase_reseed(true)` holds — re-seeded at
+  /// every query for the whole cone, so each search starts from one
+  /// simulation-consistent assignment.  Hints must be deterministic —
+  /// they steer the search, and seeded runs are pinned byte-identical.
+  void set_phase_hints(phase_hint_fn hints) { phase_hints_ = std::move(hints); }
+
+  /// Toggles per-query cone re-seeding (encode-time seeding always
+  /// happens while hints are installed).  Re-seeding makes UNSAT-bound
+  /// queries much cheaper but biases satisfiable models toward the seed
+  /// pattern; cnf_manager switches it off adaptively once satisfiable
+  /// answers become frequent enough that counter-example diversity
+  /// matters more.
+  void set_phase_reseed(bool on) noexcept { reseed_phases_ = on; }
+
+  /// Phases seeded from hints so far (encode-time + per-query re-seeds;
+  /// the bench's `phase_seed_words` counter).
+  uint64_t phase_seeds() const noexcept { return phase_seeds_; }
+
+  /// Captures every encoded node's saved phase + normalized activity.
+  void snapshot_var_state(var_state_snapshot& out) const;
+  /// Replays \p carried (which must outlive the encoder) onto nodes as
+  /// they (re-)encode; nullptr detaches.
+  void set_carried_state(const var_state_snapshot* carried)
+  {
+    carried_ = carried;
+  }
 
   /// Solver literal of \p f, encoding its cone on demand.
   lit literal(net::signal f);
@@ -49,15 +111,26 @@ public:
   uint64_t num_encoded_nodes() const noexcept { return encoded_count_; }
 
 private:
-  /// Flags the encoded support closure of \p roots (plus \p extra, if
-  /// not ~0u) as the solver's decision scope, so a query searches only
-  /// its own cones instead of every variable encoded so far.  The
-  /// closure follows the fanin variables *as encoded* (`var_fanins_`),
-  /// which stays correct when later substitutions rewire the AIG.
+  /// Under `options::cone_scoped_decisions`: computes the encoded
+  /// support closure of \p roots (following the fanin variables *as
+  /// encoded*, `var_fanins_`, which stays correct when later
+  /// substitutions rewire the AIG) and flags it (plus \p extra, if not
+  /// ~0u) as the solver's decision scope, so a query searches only its
+  /// own cones instead of every variable encoded so far.  No-op when
+  /// the option is off.
   void scope_query(std::span<const lit> roots, var extra);
+
+  /// Registers a fresh solver variable for \p n (~0u = auxiliary): grows
+  /// the var-indexed arrays and replays any carried phase/activity.
+  var make_var(net::node n, var fanin0, var fanin1);
 
   const net::aig_network& aig_;
   solver& solver_;
+  options opt_;
+  phase_hint_fn phase_hints_;
+  bool reseed_phases_ = true;
+  const var_state_snapshot* carried_ = nullptr;
+  uint64_t phase_seeds_ = 0;
   std::vector<var> node_var_;     // node id → var + 1 (0 = not encoded)
   var const_var_;                 // variable fixed to false
   /// Reusable XOR-miter variable (+1; 0 = none yet).  Its four defining
@@ -69,6 +142,7 @@ private:
 
   /// var → its two antecedent vars at encode time (~0u = leaf).
   std::vector<std::array<var, 2>> var_fanins_;
+  std::vector<net::node> var_node_;   // var → node (~0u = auxiliary)
   std::vector<uint32_t> scope_mark_;  // var → last scope epoch
   uint32_t scope_epoch_ = 0;
   std::vector<var> scope_vars_;       // scratch: current scope closure

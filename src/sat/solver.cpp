@@ -492,6 +492,17 @@ lit solver::pick_branch()
   return l;
 }
 
+void solver::set_var_activity(var v, double normalized)
+{
+  activity_[v] = normalized * var_inc_;
+  if (heap_contains(v)) {
+    const uint32_t i = heap_pos_[v] - 1u;
+    heap_[i].act = activity_[v];
+    heap_up(i);
+    heap_down(heap_pos_[v] - 1u);
+  }
+}
+
 void solver::bump_var(var v)
 {
   activity_[v] += var_inc_;

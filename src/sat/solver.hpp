@@ -79,6 +79,33 @@ public:
   /// Only meaningful outside of solve(), when the solver sits at level 0.
   lbool fixed_value(var v) const noexcept { return assigns_[v]; }
 
+  /// \name External phase / activity initialization
+  /// Saved phases and VSIDS activities are normally internal search
+  /// state; the sweeping stack seeds them from outside — polarities from
+  /// simulation signatures (a satisfiable equivalence query then starts
+  /// in a simulation-consistent assignment and the counter-example falls
+  /// out with few conflicts), activities transplanted across garbage
+  /// epochs so a rebuilt solver does not relearn which cone variables
+  /// matter.  Seeding never changes sat/unsat answers — phases and
+  /// activities only steer the search order (pinned by a property test).
+  /// \{
+  /// The next branch on \p v tries \p value first (until phase saving
+  /// overwrites it at the next backtrack over v).
+  void set_phase(var v, bool value) noexcept { polarity_[v] = !value; }
+  /// Value the next branch on \p v would try.
+  bool saved_phase(var v) const noexcept { return !polarity_[v]; }
+  /// Activity of \p v in units of the current bump increment — the
+  /// scale-free quantity to carry between solver instances (raw
+  /// activities are meaningless across instances: the increment grows
+  /// and rescales independently per solver).
+  double normalized_activity(var v) const noexcept
+  {
+    return activity_[v] / var_inc_;
+  }
+  /// Sets \p v's activity to \p normalized bump increments.
+  void set_var_activity(var v, double normalized);
+  /// \}
+
   /// Restricts branching to \p vars (plus assumptions) and rebuilds the
   /// decision heap accordingly; stays in effect until the next call.  A
   /// model then assigns these variables and whatever propagation reaches.

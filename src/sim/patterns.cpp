@@ -111,8 +111,17 @@ std::span<const uint64_t> pattern_set::input_bits(uint32_t input) const
   if (input >= num_inputs_) {
     throw std::out_of_range{"input_bits: no such input"};
   }
-  assert(num_words() <= stride_ && !base_freed_ &&
-         "input_bits(): pattern set has tail words — use input_word");
+  // The contiguous base-arena view cannot represent tail blocks or a
+  // trimmed base: returning it anyway would silently hand back stale
+  // (or freed) words for every counter-example pattern.  Callers on
+  // sets past their initial-simulation phase must use input_word /
+  // copy_input_bits; reaching here with tail words is a logic bug and
+  // fails loudly in every build type.
+  if (num_words() > stride_ || base_freed_) {
+    throw std::logic_error{
+        "input_bits: pattern set has counter-example tail words — "
+        "use input_word/copy_input_bits"};
+  }
   return {row_data(input), num_words()};
 }
 

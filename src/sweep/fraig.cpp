@@ -128,6 +128,10 @@ sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
   stats.sat_nodes_encoded = cnf.nodes_encoded();
   stats.sat_solver_rebuilds = cnf.rebuilds();
   stats.sat_clauses_peak = cnf.clauses_peak();
+  const sat::solver_stats solver_totals = cnf.solver_statistics();
+  stats.sat_conflicts = solver_totals.conflicts;
+  stats.sat_decisions = solver_totals.decisions;
+  stats.sat_restarts = solver_totals.restarts;
   stats.total_seconds = seconds_since(t_total);
   return stats;
 }

@@ -2,8 +2,10 @@
 
 #include "sim/bitwise_sim.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
+#include <unordered_map>
 
 namespace stps::sweep {
 
@@ -28,6 +30,27 @@ uint64_t ones_count(const sim::signature_store& sig, net::node n)
   return count;
 }
 
+/// Complement-normalized signature hash (FNV-1a over the words, each
+/// flipped by the first pattern bit and masked to the valid tail):
+/// a gate and its inversion land in one group, exactly like the
+/// candidate equivalence classes they would later form.
+uint64_t signature_group_key(const sim::signature_store& sig, net::node n,
+                             uint64_t num_patterns)
+{
+  const std::size_t nw = sig.num_words();
+  const uint64_t flip = (sig.word(n, 0u) & 1u) != 0u ? ~uint64_t{0} : 0u;
+  uint64_t h = 1469598103934665603ull;
+  for (std::size_t w = 0; w < nw; ++w) {
+    uint64_t word = sig.word(n, w) ^ flip;
+    if (w + 1u == nw) {
+      word &= sim::tail_mask(num_patterns);
+    }
+    h ^= word;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 } // namespace
 
 guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
@@ -48,6 +71,33 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
   auto t_sim = clock_type::now();
   sim::signature_store sig = sim::simulate_aig(aig, result.patterns);
   result.sim_seconds += seconds_since(t_sim);
+
+  // Signature-phase seeding for the guided queries themselves: every
+  // witness is absorbed with a full last-word resimulation, so the
+  // newest pattern's bit is current for *every* node — one consistent
+  // assignment to start each query from.  Cleared before returning
+  // (`sig` dies with this call; the sweeper installs its own hints).
+  struct hint_guard
+  {
+    sat::cnf_manager* cnf = nullptr;
+    ~hint_guard()
+    {
+      if (cnf != nullptr) {
+        cnf->set_phase_hints(nullptr);
+      }
+    }
+  } clear_hints_on_exit{config.use_signature_phase ? &cnf : nullptr};
+  if (config.use_signature_phase) {
+    cnf.set_phase_hints([&sig, &result](net::node n) -> int {
+      if (n >= sig.size() || sig.num_words() == 0u) {
+        return -1;
+      }
+      const uint64_t word = sig.word(n, sig.num_words() - 1u);
+      const uint64_t bit = (result.patterns.num_patterns() - 1u) & 63u;
+      return static_cast<int>((word >> bit) & 1u);
+    });
+  }
+
   const auto absorb_witness = [&](const std::vector<bool>& witness) {
     const auto t_ce = clock_type::now();
     result.patterns.add_pattern(witness);
@@ -93,30 +143,100 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
   }
 
   // ---- Round 2: break up near-constant signatures. ----------------------
-  std::size_t queries = 0;
-  aig.foreach_gate([&](net::node n) {
-    if (proven[n] || queries >= config.max_round2_queries) {
-      return;
-    }
+  // A candidate still near-constant *right now* (signatures evolve as
+  // witnesses absorb) gets a guided query toward its minority value.
+  // \p ones returns the popcount so callers don't re-scan the signature.
+  const auto near_constant = [&](net::node n, bool& toward_ones,
+                                 uint64_t& ones) {
     const uint64_t total = result.patterns.num_patterns();
-    const uint64_t ones = ones_count(sig, n);
+    ones = ones_count(sig, n);
     const bool few_ones = ones != 0u && ones <= config.round2_ones_threshold;
     const bool few_zeros =
         ones != total && total - ones <= config.round2_ones_threshold;
-    if (!few_ones && !few_zeros) {
-      return;
-    }
+    toward_ones = few_ones;
+    return few_ones || few_zeros;
+  };
+  std::size_t queries = 0;
+  const auto query_gate = [&](net::node n, bool toward_ones) {
     ++queries;
     ++result.sat_calls;
     const auto t_sat = clock_type::now();
     const auto witness = cnf.find_assignment(
-        net::signal{n, false}, few_ones, config.conflict_budget);
+        net::signal{n, false}, toward_ones, config.conflict_budget);
     result.sat_seconds += seconds_since(t_sat);
     if (witness.has_value()) {
       ++result.satisfiable_calls;
       absorb_witness(*witness);
     }
-  });
+  };
+
+  if (!config.round2_group_by_signature) {
+    // Ablation baseline: one query per still-near-constant gate.
+    aig.foreach_gate([&](net::node n) {
+      bool toward_ones = false;
+      uint64_t ones = 0;
+      if (proven[n] || queries >= config.max_round2_queries ||
+          !near_constant(n, toward_ones, ones)) {
+        return;
+      }
+      query_gate(n, toward_ones);
+    });
+    return result;
+  }
+
+  // Entropy-ranked group targeting: gates with identical (up to
+  // complement) signatures are one prospective equivalence class — any
+  // single witness that toggles one member toggles them all, so the
+  // group earns *one* query, aimed at its first member that is still
+  // near-constant when its turn comes.  Groups are ranked by minority
+  // count (lowest entropy first): the most constant-looking signatures
+  // are both the likeliest false candidates and the cheapest queries.
+  struct round2_group
+  {
+    uint64_t minority;  ///< entropy rank at collection time
+    net::node first;    ///< lowest member (deterministic tie-break)
+    std::vector<net::node> members;
+  };
+  std::vector<round2_group> groups;
+  {
+    std::unordered_map<uint64_t, std::size_t> group_of_key;
+    const uint64_t total = result.patterns.num_patterns();
+    aig.foreach_gate([&](net::node n) {
+      bool toward_ones = false;
+      uint64_t ones = 0;
+      if (proven[n] || !near_constant(n, toward_ones, ones)) {
+        return;
+      }
+      const uint64_t minority = std::min(ones, total - ones);
+      const uint64_t key = signature_group_key(sig, n, total);
+      const auto [it, inserted] = group_of_key.emplace(key, groups.size());
+      if (inserted) {
+        groups.push_back({minority, n, {n}});
+      } else {
+        groups[it->second].members.push_back(n);
+      }
+    });
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const round2_group& a, const round2_group& b) {
+              return a.minority != b.minority ? a.minority < b.minority
+                                              : a.first < b.first;
+            });
+  for (const round2_group& group : groups) {
+    if (queries >= config.max_round2_queries) {
+      break;
+    }
+    // Earlier groups' witnesses may already have diversified this one;
+    // query the first member the toggles missed, if any.
+    for (const net::node n : group.members) {
+      bool toward_ones = false;
+      uint64_t ones = 0;
+      if (near_constant(n, toward_ones, ones)) {
+        query_gate(n, toward_ones);
+        break;
+      }
+    }
+  }
 
   return result;
 }

@@ -34,6 +34,19 @@ struct guided_pattern_config
   uint32_t round1_iterations = 2;  ///< re-simulate & retry rounds
   uint64_t round2_ones_threshold = 2;  ///< "few ones" bound for round 2
   std::size_t max_round2_queries = 512;
+  /// Round-2 queries re-targeted by signature-group entropy: candidates
+  /// are grouped by their complement-normalized signature (prospective
+  /// equivalence classes), groups are ranked by minority-bit count
+  /// (lowest entropy — the most constant-looking — first), and each
+  /// group gets *one* guided query.  On deep random logic near-constant
+  /// gates are strongly correlated, so the old per-gate loop burned one
+  /// satisfiable SAT call per member of a group any single witness
+  /// would have diversified whole.  false = the per-gate loop.
+  bool round2_group_by_signature = true;
+  /// Seed each guided query's cone phases from the current signatures
+  /// (stp_sweep_params::use_signature_phase; the STP sweeper forwards
+  /// its flag — the fraig baseline leaves it off).
+  bool use_signature_phase = false;
 };
 
 struct guided_pattern_result

@@ -174,8 +174,9 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   stats.gates_before = aig.num_gates();
   stats.levels_before = net::depth(aig);
 
-  sat::cnf_manager cnf{
-      aig, {params.use_incremental_cnf, params.sat_clause_budget}};
+  sat::cnf_manager cnf{aig,
+                       {params.use_incremental_cnf, params.sat_clause_budget,
+                        params.use_cone_scoped_decisions}};
 
   // ---- Initial patterns (Alg. 2 line 2) + constant propagation (line 3).
   // The per-round simulation budget scales with the gate count (capped at
@@ -186,6 +187,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       params.effective_pattern_budget(aig.num_gates());
   guided_config.max_round2_queries =
       params.effective_round2_queries(aig.num_gates());
+  guided_config.use_signature_phase = params.use_signature_phase;
   sim::pattern_set patterns;
   if (params.use_guided_patterns) {
     guided_pattern_result guided = sat_guided_patterns(aig, cnf,
@@ -213,6 +215,31 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   equiv_classes classes;
   classes.build(aig, sig, sim::tail_mask(patterns.num_patterns()));
   stats.sim_seconds += seconds_since(t_sim);
+
+  // ---- Signature-guided SAT querying. ----------------------------------
+  // Capture every node's bit of the *last* initial signature word — the
+  // newest simulated pattern, one consistent whole-network assignment —
+  // and seed each cone variable's saved polarity from it when the
+  // variable encodes: the first query on a cone starts in a simulation-
+  // consistent assignment (phase saving evolves freely afterwards), so
+  // its counter-example — a small deviation from exactly that behavior
+  // — falls out with far fewer conflicts.  The capture is taken once,
+  // before any store trimming, and is engine-independent — both CE
+  // engines see identical hints, so the engine-equivalence invariant
+  // (identical models, identical CE trajectories) is intact.
+  if (params.use_signature_phase && sig.num_words() > 0u) {
+    std::vector<uint8_t> phase_bit(aig.size(), 0u);
+    const std::size_t last_word = sig.num_words() - 1u;
+    const uint64_t newest = (patterns.num_patterns() - 1u) & 63u;
+    for (net::node n = 0; n < phase_bit.size(); ++n) {
+      phase_bit[n] =
+          static_cast<uint8_t>((sig.word(n, last_word) >> newest) & 1u);
+    }
+    cnf.set_phase_hints(
+        [bits = std::move(phase_bit)](net::node n) -> int {
+          return n < bits.size() ? bits[n] : -1;
+        });
+  }
 
   // ---- Counter-example propagation engine (§III-B, §IV-A). -------------
   // Dispatch by instance size (ce_engine.hpp): the collapsed k-LUT view
@@ -377,6 +404,11 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   };
 
   // ---- Window resolution cache: class id → (size when checked, exact).
+  // Scaled windowing: the support limit grows with instance size — on
+  // paper-scale instances every satisfiable call a larger exhaustive
+  // window avoids is worth far more than the window pass costs.
+  const uint32_t window_support =
+      params.effective_window_support(stats.gates_before);
   std::unordered_map<uint32_t, std::pair<std::size_t, bool>> resolve_cache;
   window_resolver resolver;
   resolver.attach(aig);
@@ -392,7 +424,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
         it != resolve_cache.end() && it->second.first == members.size()) {
       return it->second.second;
     }
-    if (!net::bounded_support(aig, members, params.window_max_support,
+    if (!net::bounded_support(aig, members, window_support,
                               support_scratch)) {
       resolve_cache[c] = {members.size(), false};
       return false;
@@ -561,6 +593,11 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   stats.sat_nodes_encoded = cnf.nodes_encoded();
   stats.sat_solver_rebuilds = cnf.rebuilds();
   stats.sat_clauses_peak = cnf.clauses_peak();
+  const sat::solver_stats solver_totals = cnf.solver_statistics();
+  stats.sat_conflicts = solver_totals.conflicts;
+  stats.sat_decisions = solver_totals.decisions;
+  stats.sat_restarts = solver_totals.restarts;
+  stats.phase_seed_words = cnf.phase_seeds();
   stats.has_store_counters = true;
   stats.store_words_live = sig.live_words() + cesim->store().live_words();
   stats.store_words_trimmed = sig.words_trimmed() +

@@ -111,9 +111,40 @@ struct stp_sweep_params
   /// (the unbounded ablation baseline).
   uint32_t store_word_budget = 8;
 
+  /// Signature-guided SAT querying: solver variables' saved polarities
+  /// are seeded from the nodes' values in the last initial-simulation
+  /// signature word — one consistent whole-network assignment — at
+  /// encode time, and *re-seeded per equivalence query* while the
+  /// adaptive policy holds (sat::cnf_manager::params): re-seeding makes
+  /// UNSAT-bound proof streams drastically cheaper (mult96r SAT time
+  /// ~10×), and switches itself off once satisfiable answers become
+  /// frequent enough that counter-example diversity matters more
+  /// (deep-random instances; biased models are near-duplicates of the
+  /// seed pattern and refine too little).  Seeding steers the search
+  /// only; sat/unsat answers are unchanged (property-pinned), and the
+  /// result network is identical either way (differential harness +
+  /// bench `--ablation`).
+  bool use_signature_phase = true;
+  /// Cone-aware query scoping (sat::cnf_manager::params): decisions and
+  /// activity bumps restricted to each query's union cone, and learned
+  /// phase/activity carried across SAT garbage epochs for cones that
+  /// re-encode.  false = unrestricted decisions, cold rebuilds.
+  bool use_cone_scoped_decisions = true;
+
   int64_t conflict_budget = -1;  ///< equivalence queries; -1 = unlimited
   std::size_t tfi_limit = 1000;  ///< Alg. 2 line 1
   uint32_t window_max_support = 15; ///< "< 16 leaves" (§IV-A)
+  /// Scaled windowing: on paper-scale instances a satisfiable SAT call
+  /// costs far more than a larger exhaustive window (window resolution
+  /// is cheap since the union-cone pass), so the support limit grows
+  /// with the gate count — one extra leaf per quadrupling starting at
+  /// `window_scale_gates` gates, capped at `window_max_support_scaled`
+  /// (30k gates → 16, 120k → 17, 480k → 18 with the defaults).  Window
+  /// resolution is exact, so the limit changes which merges avoid SAT,
+  /// never the result.  `window_scale_gates = 0` disables scaling (the
+  /// flat ablation baseline).
+  uint32_t window_scale_gates = 30'000;
+  uint32_t window_max_support_scaled = 18;
   uint32_t collapse_limit = 8;   ///< tree-cut leaf bound for CE windows
 
   /// Per-round simulation budget scaling: tiny instances stop
@@ -154,6 +185,22 @@ struct stp_sweep_params
     const std::size_t want = std::max<std::size_t>(
         min_round2_queries, num_gates * round2_queries_per_mille / 1000u);
     return std::min(want, guided.max_round2_queries);
+  }
+
+  /// Exhaustive-window support limit for a circuit of \p num_gates
+  /// gates (scaled windowing; see `window_scale_gates`).
+  uint32_t effective_window_support(uint64_t num_gates) const
+  {
+    uint32_t support = window_max_support;
+    if (window_scale_gates == 0u) {
+      return support;
+    }
+    for (uint64_t gates = window_scale_gates;
+         num_gates >= gates && support < window_max_support_scaled;
+         gates *= 4u) {
+      ++support;
+    }
+    return support;
   }
 };
 

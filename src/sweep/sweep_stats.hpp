@@ -72,6 +72,20 @@ struct sweep_stats
   uint64_t sat_clauses_peak = 0;   ///< max problem+learnt clauses seen
   /// \}
 
+  /// \name SAT search-effort counters (accumulated across all rebuilds)
+  /// The satisfiable-call *cost* trajectory: satisfiable equivalence
+  /// queries dominate the SAT-bound tail, and the signature-phase /
+  /// cone-scoping policies aim squarely at their conflict counts.
+  /// \{
+  uint64_t sat_conflicts = 0;
+  uint64_t sat_decisions = 0;
+  uint64_t sat_restarts = 0;
+  /// Solver variables whose saved polarity was seeded from a signature
+  /// word at encode time (0 when `use_signature_phase` is off or for
+  /// sweepers without the policy).
+  uint64_t phase_seed_words = 0;
+  /// \}
+
   /// \name Signature-store memory counters (candidate + CE stores)
   /// \{
   bool has_store_counters = false; ///< engine tracks a word budget

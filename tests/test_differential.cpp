@@ -6,16 +6,23 @@
 /// logic, arithmetic, and redundancy-injected variants of both) and runs
 /// the fraig baseline plus the STP sweeper under a 3-way CE-engine
 /// matrix (auto / collapsed / resim — sweep/ce_engine.hpp) crossed with
-/// the incremental-CNF × store-budget ablation variants:
+/// the incremental-CNF × store-budget × signature-guided-SAT ablation
+/// variants (the last three columns are PR 5's signature-phase seeding,
+/// cone-scoped decisions + epoch carry-over, and entropy-grouped round-2
+/// guidance — folded into the existing variants so every flag runs under
+/// every engine without growing the matrix):
 ///
-///   | variant      | incremental CNF | clause budget  | store budget | prune | arena |
-///   |--------------|-----------------|----------------|--------------|-------|-------|
-///   | default      | on              | default        | default (8)  | on    | 1     |
-///   | scratch      | off (per-query) | —              | ∞            | on    | 1     |
-///   | tiny_epochs  | on              | 64 (rebuilds!) | default      | off   | 2     |
-///   | unbounded    | on              | 0 (never)      | ∞            | off   | full  |
-///   | tight_store  | on              | default        | 1            | on    | full  |
-///   | scratch_tight| off             | —              | 1            | off   | 1     |
+///   | variant      | incremental CNF | clause budget  | store budget | prune | arena | phase | cone | r2-group |
+///   |--------------|-----------------|----------------|--------------|-------|-------|-------|------|----------|
+///   | default      | on              | default        | default (8)  | on    | 1     | on    | on   | on       |
+///   | scratch      | off (per-query) | —              | ∞            | on    | 1     | off   | on   | on       |
+///   | tiny_epochs  | on              | 64 (rebuilds!) | default      | off   | 2     | on    | on*  | off      |
+///   | unbounded    | on              | 0 (never)      | ∞            | off   | full  | off   | off  | off      |
+///   | tight_store  | on              | default        | 1            | on    | full  | on    | off  | on       |
+///   | scratch_tight| off             | —              | 1            | off   | 1     | off   | off  | off      |
+///
+/// (* tiny_epochs is the combination that exercises the learned
+/// phase/activity carry-over across garbage epochs.)
 ///
 /// Every result must be CEC-equivalent to the original *and* to every
 /// other engine's result, and all 18 STP engine×variant combinations
@@ -87,15 +94,18 @@ struct stp_variant
   uint32_t store_budget;
   bool prune_targets;
   uint32_t initial_words; ///< 0 = full collapsed arena
+  bool signature_phase;
+  bool cone_scoped;
+  bool round2_group;
 };
 
 constexpr stp_variant variants[] = {
-    {"default", true, 4'000'000u, 8u, true, 1u},
-    {"scratch", false, 0u, 0u, true, 1u},
-    {"tiny_epochs", true, 64u, 8u, false, 2u},
-    {"unbounded", true, 0u, 0u, false, 0u},
-    {"tight_store", true, 4'000'000u, 1u, true, 0u},
-    {"scratch_tight", false, 0u, 1u, false, 1u},
+    {"default", true, 4'000'000u, 8u, true, 1u, true, true, true},
+    {"scratch", false, 0u, 0u, true, 1u, false, true, true},
+    {"tiny_epochs", true, 64u, 8u, false, 2u, true, true, false},
+    {"unbounded", true, 0u, 0u, false, 0u, false, false, false},
+    {"tight_store", true, 4'000'000u, 1u, true, 0u, true, false, true},
+    {"scratch_tight", false, 0u, 1u, false, 1u, false, false, false},
 };
 
 struct engine_choice
@@ -134,6 +144,9 @@ sweep::stp_sweep_params make_params(const engine_choice& e,
   params.store_word_budget = v.store_budget;
   params.ce_prune_targets = v.prune_targets;
   params.ce_initial_words = v.initial_words;
+  params.use_signature_phase = v.signature_phase;
+  params.use_cone_scoped_decisions = v.cone_scoped;
+  params.guided.round2_group_by_signature = v.round2_group;
   return params;
 }
 
@@ -277,6 +290,12 @@ TEST(Differential, SeededSweepsAreDeterministic)
       EXPECT_EQ(a.sat_nodes_encoded, b.sat_nodes_encoded);
       EXPECT_EQ(a.sat_solver_rebuilds, b.sat_solver_rebuilds);
       EXPECT_EQ(a.sat_clauses_peak, b.sat_clauses_peak);
+      // Signature-phase seeding is on by default here: two seeded runs
+      // must agree on the solver search itself, byte for byte.
+      EXPECT_EQ(a.sat_conflicts, b.sat_conflicts);
+      EXPECT_EQ(a.sat_decisions, b.sat_decisions);
+      EXPECT_EQ(a.sat_restarts, b.sat_restarts);
+      EXPECT_EQ(a.phase_seed_words, b.phase_seed_words);
       EXPECT_EQ(a.store_words_live, b.store_words_live);
       EXPECT_EQ(a.store_words_trimmed, b.store_words_trimmed);
       EXPECT_EQ(a.store_peak_bytes, b.store_peak_bytes);
@@ -285,6 +304,45 @@ TEST(Differential, SeededSweepsAreDeterministic)
       EXPECT_TRUE(sweep::check_equivalence(first, second).equivalent);
     }
   }
+}
+
+/// The signature-guided SAT flag square on its own: 5 seeds × every
+/// combination of `use_signature_phase` × `use_cone_scoped_decisions`
+/// must land on the identical result network.  The per-push ASan CI job
+/// runs exactly this slice (the full engine × variant matrix above
+/// stays in the release job and nightly).
+TEST(Differential, SignaturePhaseAndConeScopingSlice)
+{
+  uint64_t seeded_total = 0; // across all seeds: the policy really ran
+  for (const uint64_t seed : {3u, 11u, 19u, 27u, 35u}) {
+    const net::aig_network original = make_network(seed);
+    std::vector<net::aig_network> results;
+    std::vector<sweep::sweep_stats> stats;
+    for (const bool phase : {true, false}) {
+      for (const bool cone : {true, false}) {
+        net::aig_network result = original;
+        sweep::stp_sweep_params params;
+        params.guided.base_patterns = 256u;
+        params.use_signature_phase = phase;
+        params.use_cone_scoped_decisions = cone;
+        stats.push_back(sweep::stp_sweep(result, params));
+        ASSERT_TRUE(sweep::check_equivalence(original, result).equivalent)
+            << "phase=" << phase << " cone=" << cone << ", seed " << seed;
+        results.push_back(std::move(result));
+      }
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].num_gates(), results[0].num_gates())
+          << "flag combo " << i << " diverged, seed " << seed;
+    }
+    // The policies really toggled: seeds flow only when the flag is on
+    // (a network swept without any SAT query seeds nothing — require
+    // the evidence across the whole slice, not per seed).
+    seeded_total += stats[0].phase_seed_words;
+    EXPECT_EQ(stats[2].phase_seed_words, 0u);
+    EXPECT_EQ(stats[3].phase_seed_words, 0u);
+  }
+  EXPECT_GT(seeded_total, 0u);
 }
 
 /// Mid-sweep escalation: a collapsed-engine sweep whose measured per-CE

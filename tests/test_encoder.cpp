@@ -1,7 +1,9 @@
 #include "gen/arithmetic.hpp"
+#include "gen/random_logic.hpp"
 #include "sat/cnf_manager.hpp"
 #include "sat/encoder.hpp"
 #include "sim/bitwise_sim.hpp"
+#include "sim/patterns.hpp"
 
 #include <gtest/gtest.h>
 
@@ -163,6 +165,134 @@ TEST(CnfManager, ClauseBudgetTriggersGarbageEpochs)
   EXPECT_GT(cnf.rebuilds(), 0u);
   EXPECT_EQ(unbounded.rebuilds(), 0u);
   EXPECT_GT(cnf.nodes_encoded(), unbounded.nodes_encoded());
+}
+
+TEST(CnfManager, StatsAccumulateAcrossGarbageEpochs)
+{
+  // The bench's sat_conflicts/sat_decisions counters are only
+  // trustworthy if solver teardowns retire the live stats into a
+  // running sum: every rebuild used to silently reset them.  Pin the
+  // accumulation across both rebuild flavors — garbage epochs (tiny
+  // clause budget) and per-query scratch teardowns.
+  for (const bool incremental : {true, false}) {
+    auto aig = gen::make_adder(16u);
+    sat::cnf_manager cnf{aig, {incremental, incremental ? 50u : 0u}};
+    uint64_t queries = 0;
+    sat::solver_stats last{};
+    for (uint32_t i = 0; i + 1u < aig.num_pos(); ++i) {
+      cnf.prove_equivalent(aig.po_at(i), aig.po_at(i + 1u), false, -1);
+      ++queries;
+      const sat::solver_stats now = cnf.solver_statistics();
+      // Monotone across every query — a rebuild between two queries
+      // must never make a counter go backwards.
+      EXPECT_GE(now.solve_calls, last.solve_calls);
+      EXPECT_GE(now.conflicts, last.conflicts);
+      EXPECT_GE(now.decisions, last.decisions);
+      EXPECT_GE(now.propagations, last.propagations);
+      EXPECT_GE(now.restarts, last.restarts);
+      last = now;
+    }
+    EXPECT_GT(cnf.rebuilds(), 0u) << "fixture no longer rebuilds";
+    // Exactly one solve per equivalence query, counted across epochs.
+    EXPECT_EQ(last.solve_calls, queries);
+    EXPECT_GT(last.decisions, 0u);
+  }
+}
+
+TEST(CnfManager, PhaseSeedingNeverChangesAnswersOnRandomMiters)
+{
+  // Property: phase hints steer the search only — every equivalence /
+  // constant query must return the identical sat/unsat verdict with
+  // hints on (from real simulation signatures), with adversarial hints
+  // (bit-noise), and with none.
+  for (uint64_t seed = 0; seed < 8u; ++seed) {
+    const auto aig = gen::make_random_logic(
+        {10u, 6u, 180u + 30u * static_cast<uint32_t>(seed % 3u),
+         0xabcdu + seed, 30u});
+    const sim::pattern_set patterns =
+        sim::pattern_set::random(aig.num_pis(), 64u, seed);
+    const sim::signature_store sig = sim::simulate_aig(aig, patterns);
+
+    sat::cnf_manager plain{aig};
+    sat::cnf_manager simulation{aig};
+    simulation.set_phase_hints([&sig](stps::net::node n) -> int {
+      return n < sig.size() ? static_cast<int>(sig.word(n, 0u) & 1u) : -1;
+    });
+    sat::cnf_manager adversarial{aig};
+    adversarial.set_phase_hints([seed](stps::net::node n) -> int {
+      return static_cast<int>((n * 2654435761u + seed) >> 7u & 1u);
+    });
+
+    for (uint32_t i = 0; i + 1u < aig.num_pos(); ++i) {
+      const auto a = aig.po_at(i);
+      const auto b = aig.po_at(i + 1u);
+      const sat::result r = plain.prove_equivalent(a, b, false, -1);
+      EXPECT_EQ(simulation.prove_equivalent(a, b, false, -1), r)
+          << "seed " << seed << " pair " << i;
+      EXPECT_EQ(adversarial.prove_equivalent(a, b, false, -1), r)
+          << "seed " << seed << " pair " << i;
+      const sat::result c = plain.prove_constant(a, false, -1);
+      EXPECT_EQ(simulation.prove_constant(a, false, -1), c);
+      EXPECT_EQ(adversarial.prove_constant(a, false, -1), c);
+    }
+    EXPECT_GT(simulation.phase_seeds(), 0u);
+    EXPECT_GT(adversarial.phase_seeds(), 0u);
+    EXPECT_EQ(plain.phase_seeds(), 0u);
+  }
+}
+
+TEST(CnfManager, SeededPhaseHintsAreDeterministic)
+{
+  // Same network, same hints → byte-identical search counters.  Any
+  // nondeterminism in the seeding path (iteration order, uninitialized
+  // phases) shows up here first.
+  const auto aig = gen::make_random_logic({10u, 6u, 200u, 0x5eedu, 30u});
+  const sim::pattern_set patterns =
+      sim::pattern_set::random(aig.num_pis(), 64u, 7u);
+  const sim::signature_store sig = sim::simulate_aig(aig, patterns);
+  const auto hints = [&sig](stps::net::node n) -> int {
+    return n < sig.size() ? static_cast<int>(sig.word(n, 0u) & 1u) : -1;
+  };
+  sat::solver_stats runs[2];
+  uint64_t seeds[2] = {0u, 0u};
+  for (int run = 0; run < 2; ++run) {
+    sat::cnf_manager cnf{aig, {true, 2000u}};
+    cnf.set_phase_hints(hints);
+    for (uint32_t i = 0; i + 1u < aig.num_pos(); ++i) {
+      cnf.prove_equivalent(aig.po_at(i), aig.po_at(i + 1u), false, -1);
+    }
+    runs[run] = cnf.solver_statistics();
+    seeds[run] = cnf.phase_seeds();
+  }
+  EXPECT_EQ(runs[0].decisions, runs[1].decisions);
+  EXPECT_EQ(runs[0].conflicts, runs[1].conflicts);
+  EXPECT_EQ(runs[0].propagations, runs[1].propagations);
+  EXPECT_EQ(runs[0].restarts, runs[1].restarts);
+  EXPECT_EQ(runs[0].solve_calls, runs[1].solve_calls);
+  EXPECT_EQ(seeds[0], seeds[1]);
+}
+
+TEST(CnfManager, EpochCarryOverPreservesAnswers)
+{
+  // Garbage epochs with cone scoping carry learned phases/activities
+  // into the next epoch; verdicts must match an unbounded manager and a
+  // cold-rebuild one exactly.
+  auto aig = gen::make_adder(16u);
+  sat::cnf_manager carrying{aig, {true, 50u, /*cone_scoped=*/true}};
+  sat::cnf_manager cold{aig, {true, 50u, /*cone_scoped=*/false}};
+  sat::cnf_manager unbounded{aig};
+  for (uint32_t i = 0; i + 1u < aig.num_pos(); ++i) {
+    const sat::result r = unbounded.prove_equivalent(
+        aig.po_at(i), aig.po_at(i + 1u), false, -1);
+    EXPECT_EQ(carrying.prove_equivalent(aig.po_at(i), aig.po_at(i + 1u),
+                                        false, -1),
+              r);
+    EXPECT_EQ(cold.prove_equivalent(aig.po_at(i), aig.po_at(i + 1u), false,
+                                    -1),
+              r);
+  }
+  EXPECT_GT(carrying.rebuilds(), 0u);
+  EXPECT_GT(cold.rebuilds(), 0u);
 }
 
 TEST(Encoder, EncodesLazilyAndOnce)

@@ -294,6 +294,16 @@ TEST(Bench, RejectsMalformedInput)
       "INPUT(a)\nOUTPUT(y)\ny = AND a, a\n",         // missing parens
       "WIRE(a)\n",                                   // unknown declaration
       "INPUT(a, b)\n",                               // declaration arity
+      // Garbage operand lists and names the old splitter let through:
+      // they silently became (mis-)wired signals instead of errors.
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b) junk\n", // text after ')'
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b,)\n",     // dangling comma
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a,, b)\n",     // doubled comma
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nbad name = NOT(a)\n", // space in name
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nt(0) = NOT(a)\n",    // parens in name
+      "INPUT(a)\nOUTPUT(y)\ny = z = NOT(a)\n",               // doubled '='
+      "INPUT(a)\nOUTPUT(y)\ny = AND(OR(a, a), a)\n",         // nested call
+      "INPUT(a)\nOUTPUT(y)\ny = 2 NOT(a)\n",                 // garbage op
   };
   for (const char* const text : cases) {
     std::stringstream ss{text};

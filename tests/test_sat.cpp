@@ -281,4 +281,79 @@ TEST(Sat, StatsAccumulate)
   EXPECT_EQ(s.stats().solve_calls, 2u);
 }
 
+TEST(Sat, SetPhaseSteersFirstDecision)
+{
+  solver s;
+  const var a = s.new_var();
+  // MiniSat default phase is negative.
+  ASSERT_EQ(s.solve(), result::sat);
+  EXPECT_FALSE(s.model_value(a));
+
+  s.set_phase(a, true);
+  EXPECT_TRUE(s.saved_phase(a));
+  ASSERT_EQ(s.solve(), result::sat);
+  EXPECT_TRUE(s.model_value(a));
+
+  s.set_phase(a, false);
+  EXPECT_FALSE(s.saved_phase(a));
+  ASSERT_EQ(s.solve(), result::sat);
+  EXPECT_FALSE(s.model_value(a));
+}
+
+TEST(Sat, SetVarActivityOrdersDecisions)
+{
+  // (a ∨ b): the higher-activity variable is decided first, its default
+  // negative phase propagates the other one to true.
+  solver s;
+  const var a = s.new_var();
+  const var b = s.new_var();
+  s.add_clause({pos(a), pos(b)});
+
+  s.set_var_activity(b, 10.0);
+  ASSERT_EQ(s.solve(), result::sat);
+  EXPECT_FALSE(s.model_value(b));
+  EXPECT_TRUE(s.model_value(a));
+
+  // Phase saving kept the first model's values; reset both phases so
+  // only the activity swap below changes the decision order.
+  s.set_phase(a, false);
+  s.set_phase(b, false);
+  s.set_var_activity(a, 20.0);
+  ASSERT_EQ(s.solve(), result::sat);
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_GT(s.normalized_activity(a), s.normalized_activity(b));
+}
+
+TEST(Sat, PhaseSeedingNeverChangesRandom3SatAnswers)
+{
+  // Pure-solver half of the phase-seeding safety property: identical
+  // clause databases with arbitrarily seeded phases and activities must
+  // agree on sat/unsat (the encoder-level half runs on random miters in
+  // test_encoder.cpp).
+  for (uint64_t seed = 0; seed < 20u; ++seed) {
+    std::mt19937_64 rng{seed};
+    const uint32_t num_vars = 12u;
+    const uint32_t num_clauses = 20u + static_cast<uint32_t>(rng() % 40u);
+    solver plain;
+    solver seeded;
+    for (uint32_t v = 0; v < num_vars; ++v) {
+      plain.new_var();
+      const var sv = seeded.new_var();
+      seeded.set_phase(sv, (rng() & 1u) != 0u);
+      seeded.set_var_activity(sv, static_cast<double>(rng() % 16u));
+    }
+    for (uint32_t c = 0; c < num_clauses; ++c) {
+      std::vector<lit> clause;
+      for (uint32_t k = 0; k < 3u; ++k) {
+        clause.push_back(
+            lit{static_cast<var>(rng() % num_vars), (rng() & 1u) != 0u});
+      }
+      plain.add_clause(clause);
+      seeded.add_clause(clause);
+    }
+    EXPECT_EQ(plain.solve(), seeded.solve()) << "seed " << seed;
+  }
+}
+
 } // namespace

@@ -48,6 +48,26 @@ TEST(Patterns, AddPatternAppends)
   EXPECT_TRUE(p.bit(1, 1));
 }
 
+TEST(Patterns, InputBitsFailsLoudlyOnTailWordsAndTrimmedBase)
+{
+  // The contiguous base-arena view silently returned stale words for
+  // counter-example patterns (and freed memory after a base trim) in
+  // release builds; both conditions must throw in every build type.
+  sim::pattern_set p = sim::pattern_set::random(3u, 128u, 9u);
+  EXPECT_EQ(p.input_bits(0u).size(), p.num_words());
+  while (p.num_words() <= p.base_words()) {
+    p.add_pattern({true, false, true}); // spill into a CE tail block
+  }
+  EXPECT_THROW(p.input_bits(0u), std::logic_error);
+  // input_word / copy_input_bits stay the supported accessors.
+  EXPECT_EQ(p.input_word(0u, p.num_words() - 1u) & 1u, 1u);
+
+  sim::pattern_set trimmed = sim::pattern_set::random(3u, 128u, 9u);
+  trimmed.trim_words(trimmed.num_words()); // frees the base arena
+  ASSERT_GT(trimmed.words_trimmed(), 0u);
+  EXPECT_THROW(trimmed.input_bits(0u), std::logic_error);
+}
+
 TEST(Patterns, TailBlocksAreWordMajorAndAbsoluteIndexed)
 {
   // 100 base patterns (2 base words); appends spill into word-major

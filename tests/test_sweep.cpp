@@ -175,6 +175,50 @@ TEST(StpSweep, TinyConflictBudgetMarksDontTouch)
   EXPECT_TRUE(cec.equivalent);
 }
 
+TEST(StpSweep, EffectiveWindowSupportScalesWithGateCount)
+{
+  sweep::stp_sweep_params params; // base 15, +1 per quadrupling from 30k
+  EXPECT_EQ(params.effective_window_support(1'000u), 15u);
+  EXPECT_EQ(params.effective_window_support(29'999u), 15u);
+  EXPECT_EQ(params.effective_window_support(30'000u), 16u);
+  EXPECT_EQ(params.effective_window_support(120'000u), 17u);
+  EXPECT_EQ(params.effective_window_support(480'000u), 18u);
+  EXPECT_EQ(params.effective_window_support(1u << 30u), 18u); // capped
+  params.window_scale_gates = 0u; // scaling disabled
+  EXPECT_EQ(params.effective_window_support(1u << 30u), 15u);
+  params.window_scale_gates = 30'000u;
+  params.window_max_support_scaled = 14u; // cap below base: base wins
+  EXPECT_EQ(params.effective_window_support(1u << 30u), 15u);
+}
+
+TEST(StpSweep, WindowSupportLimitIsResultInvariant)
+{
+  // Window resolution is exact, so a larger support limit only moves
+  // merges from SAT to windows — the result network cannot change.
+  auto base = gen::inject_redundancy(
+      gen::make_random_logic({14u, 6u, 380u, 0x31d0u, 35u}), {12u, 2u, 7u});
+  const net::aig_network original = base;
+  uint32_t gates[3];
+  uint64_t window_merges[3];
+  const uint32_t supports[3] = {11u, 15u, 17u};
+  for (int i = 0; i < 3; ++i) {
+    net::aig_network aig = original;
+    sweep::stp_sweep_params params;
+    params.guided.base_patterns = 128u;
+    params.window_max_support = supports[i];
+    params.window_scale_gates = 0u; // pin the limit exactly
+    const auto stats = sweep::stp_sweep(aig, params);
+    gates[i] = aig.num_gates();
+    window_merges[i] = stats.window_merges;
+    EXPECT_TRUE(sweep::check_equivalence(original, aig).equivalent)
+        << "support " << supports[i];
+  }
+  EXPECT_EQ(gates[0], gates[1]);
+  EXPECT_EQ(gates[1], gates[2]);
+  // Wider windows resolve at least as many classes exhaustively.
+  EXPECT_LE(window_merges[0], window_merges[2]);
+}
+
 TEST(Sweep, NamedSuiteSmoke)
 {
   // One small named Table II benchmark end to end.
