@@ -45,20 +45,48 @@
 /// `--only <substr>` keeps only benchmarks whose name contains the
 /// substring (repeatable) — used for the committed `--scale 3` smoke
 /// rows.
+///
+/// Budgets and interruption (see bench/README.md): `--deadline <sec>`
+/// bounds each sweep's wall-clock, `--conflict-budget <n>` caps each
+/// equivalence query (escalating retry then kicks in), and
+/// `--conflict-budget-total <n>` caps each sweep's global conflict
+/// pool.  SIGINT/SIGTERM trip the active sweep's governor: the
+/// in-flight row is dropped, completed rows are kept, and the `--json`
+/// file is still written with `"interrupted": true`.
 #include "gen/benchmarks.hpp"
 #include "network/traversal.hpp"
 #include "sweep/cec.hpp"
 #include "sweep/fraig.hpp"
+#include "sweep/resource_governor.hpp"
 #include "sweep/stp_sweeper.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 namespace {
+
+/// Governor of the sweep/CEC currently running, for the signal handler
+/// to trip; null between runs (an interrupt then just sets the flag and
+/// the row loop exits at its next check).
+std::atomic<stps::sweep::resource_governor*> g_active_governor{nullptr};
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void on_interrupt(int)
+{
+  // Async-signal-safe: two relaxed atomic stores, nothing else.
+  g_interrupted.store(true, std::memory_order_relaxed);
+  stps::sweep::resource_governor* g =
+      g_active_governor.load(std::memory_order_relaxed);
+  if (g != nullptr) {
+    g->request_stop();
+  }
+}
 
 double geomean(const std::vector<double>& xs)
 {
@@ -89,6 +117,16 @@ void write_engine_json(std::FILE* f, const char* key,
                key, static_cast<unsigned long long>(s.sat_calls_total),
                static_cast<unsigned long long>(s.sat_calls_satisfiable),
                static_cast<unsigned long long>(s.merges));
+  // Unified unDET accounting, emitted for BOTH engines: permanent
+  // give-ups, escalating-retry attempts, retries that settled, and how
+  // the sweep ended (complete vs deadline/budget/cancelled partial).
+  std::fprintf(f,
+               "\"dont_touch\": %llu, \"undet_retries\": %llu, "
+               "\"undet_resolved\": %llu, \"sweep_outcome\": \"%s\", ",
+               static_cast<unsigned long long>(s.dont_touch),
+               static_cast<unsigned long long>(s.undet_retries),
+               static_cast<unsigned long long>(s.undet_resolved),
+               stps::sweep::sweep_outcome_name(s.outcome));
   // The CE engine the sweep finished with exists only for sweepers
   // with selectable engines (the STP rows); fraig omits the key.
   if (s.has_ce_engine) {
@@ -150,7 +188,8 @@ void write_engine_json(std::FILE* f, const char* key,
 }
 
 bool write_json(const std::string& path, uint64_t base_patterns,
-                uint32_t scale, const std::vector<json_row>& rows)
+                uint32_t scale, const std::vector<json_row>& rows,
+                bool interrupted)
 {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -159,8 +198,10 @@ bool write_json(const std::string& path, uint64_t base_patterns,
   }
   std::fprintf(f, "{\n  \"bench\": \"table2_sweeping\",\n"
                   "  \"patterns\": %llu,\n  \"scale\": %u,\n"
+                  "  \"interrupted\": %s,\n"
                   "  \"benchmarks\": [\n",
-               static_cast<unsigned long long>(base_patterns), scale);
+               static_cast<unsigned long long>(base_patterns), scale,
+               interrupted ? "true" : "false");
   std::vector<double> time_f, time_s, sat_f, sat_s;
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const json_row& r = rows[i];
@@ -185,16 +226,39 @@ bool write_json(const std::string& path, uint64_t base_patterns,
     sat_f.push_back(static_cast<double>(r.fraig.sat_calls_satisfiable) + 1.0);
     sat_s.push_back(static_cast<double>(r.stp.sat_calls_satisfiable) + 1.0);
   }
-  std::fprintf(f,
-               "  ],\n  \"geomean\": {\"fraig_total_seconds\": %.6f, "
-               "\"stp_total_seconds\": %.6f, \"runtime_ratio\": %.4f, "
-               "\"satisfiable_ratio\": %.4f}\n}\n",
-               geomean(time_f), geomean(time_s),
-               geomean(time_s) / geomean(time_f),
-               geomean(sat_s) / geomean(sat_f));
+  std::fprintf(f, "  ]");
+  // An interrupted run may have zero completed rows; a geomean over an
+  // empty set is meaningless, so the key is simply absent then.
+  if (!rows.empty()) {
+    std::fprintf(f,
+                 ",\n  \"geomean\": {\"fraig_total_seconds\": %.6f, "
+                 "\"stp_total_seconds\": %.6f, \"runtime_ratio\": %.4f, "
+                 "\"satisfiable_ratio\": %.4f}",
+                 geomean(time_f), geomean(time_s),
+                 geomean(time_s) / geomean(time_f),
+                 geomean(sat_s) / geomean(sat_f));
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   return true;
 }
+
+/// Registers \p g as the signal handler's stop target for the duration
+/// of one sweep/CEC call.
+class governed_scope
+{
+public:
+  explicit governed_scope(stps::sweep::resource_governor& g)
+  {
+    g_active_governor.store(&g, std::memory_order_relaxed);
+  }
+  ~governed_scope()
+  {
+    g_active_governor.store(nullptr, std::memory_order_relaxed);
+  }
+  governed_scope(const governed_scope&) = delete;
+  governed_scope& operator=(const governed_scope&) = delete;
+};
 
 } // namespace
 
@@ -207,6 +271,9 @@ int main(int argc, char** argv)
   sweep::ce_engine_kind ce_engine = sweep::ce_engine_kind::automatic;
   std::string json_path;
   std::vector<std::string> only;
+  double deadline_seconds = 0.0;       // 0 = no deadline
+  uint64_t conflict_budget_total = 0u; // 0 = unlimited global pool
+  int64_t conflict_budget = -1;        // per query; -1 = unlimited
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablation") == 0) {
       ablation = true;
@@ -217,6 +284,15 @@ int main(int argc, char** argv)
     }
     if (std::strcmp(argv[i], "--patterns") == 0) {
       base_patterns = std::stoull(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--deadline") == 0) {
+      deadline_seconds = std::stod(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--conflict-budget") == 0) {
+      conflict_budget = std::stoll(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--conflict-budget-total") == 0) {
+      conflict_budget_total = std::stoull(argv[i + 1]);
     }
     if (std::strcmp(argv[i], "--json") == 0) {
       json_path = argv[i + 1];
@@ -242,6 +318,16 @@ int main(int argc, char** argv)
     }
   }
   scale = std::min(scale, gen::max_sweep_scale); // keep recorded scale honest
+
+  // Ctrl-C / SIGTERM trip the active sweep's governor: the in-flight
+  // query finishes, proven merges are kept, and the partial JSON is
+  // still written (with "interrupted": true).
+  std::signal(SIGINT, on_interrupt);
+  std::signal(SIGTERM, on_interrupt);
+  sweep::governor_limits limits;
+  limits.deadline_seconds = deadline_seconds;
+  limits.conflict_budget_total = conflict_budget_total;
+
   const auto selected = [&](const std::string& name) {
     if (only.empty()) {
       return true;
@@ -269,24 +355,50 @@ int main(int argc, char** argv)
   std::vector<json_row> json_rows;
 
   for (const auto& name : gen::sweep_names(scale)) {
+    if (g_interrupted.load(std::memory_order_relaxed)) {
+      break;
+    }
     if (!selected(name)) {
       continue;
     }
     const net::aig_network original = gen::make_sweep_benchmark(name);
 
     net::aig_network by_fraig = original;
-    const sweep::sweep_stats fs =
-        sweep::fraig_sweep(by_fraig, {base_patterns, 1u, -1});
+    sweep::resource_governor fraig_gov{limits};
+    sweep::fraig_params fraig_params{base_patterns, 1u, conflict_budget};
+    fraig_params.governor = &fraig_gov;
+    sweep::sweep_stats fs;
+    {
+      const governed_scope scope{fraig_gov};
+      fs = sweep::fraig_sweep(by_fraig, fraig_params);
+    }
 
     net::aig_network by_stp = original;
+    sweep::resource_governor stp_gov{limits};
     sweep::stp_sweep_params params;
     params.guided.base_patterns = base_patterns;
     params.ce_engine = ce_engine;
-    const sweep::sweep_stats ss = sweep::stp_sweep(by_stp, params);
+    params.conflict_budget = conflict_budget;
+    params.governor = &stp_gov;
+    sweep::sweep_stats ss;
+    {
+      const governed_scope scope{stp_gov};
+      ss = sweep::stp_sweep(by_stp, params);
+    }
 
-    bool ok =
-        sweep::check_equivalence(original, by_fraig).equivalent &&
-        sweep::check_equivalence(original, by_stp).equivalent;
+    // Verification gets its own interrupt-only governor (no deadline or
+    // budget: a partial sweep result still deserves a full CEC) so
+    // Ctrl-C during the check also winds down cleanly.
+    sweep::resource_governor cec_gov{};
+    sweep::cec_params cec_config;
+    cec_config.governor = &cec_gov;
+    bool ok;
+    {
+      const governed_scope scope{cec_gov};
+      ok = sweep::check_equivalence(original, by_fraig, cec_config)
+               .equivalent &&
+           sweep::check_equivalence(original, by_stp, cec_config).equivalent;
+    }
 
     // Ablation proof: flags off (per-query scratch CNF, unbounded
     // stores, full collapsed arena, no target pruning, no signature
@@ -313,18 +425,42 @@ int main(int argc, char** argv)
       off.ce_engine = ss.ce_engine_used == sweep::ce_engine_kind::collapsed
                           ? sweep::ce_engine_kind::resim
                           : sweep::ce_engine_kind::collapsed;
-      as = sweep::stp_sweep(by_stp_off, off);
+      // Fresh governor, same limits: the main run may have spent its
+      // budget, and the ablation re-sweep deserves the full allowance.
+      sweep::resource_governor abl_gov{limits};
+      off.governor = &abl_gov;
+      {
+        const governed_scope scope{abl_gov};
+        as = sweep::stp_sweep(by_stp_off, off);
+      }
       ablation_match = as.gates_after == ss.gates_after;
+      sweep::resource_governor abl_cec_gov{};
+      sweep::cec_params abl_cec_config;
+      abl_cec_config.governor = &abl_cec_gov;
+      const governed_scope scope{abl_cec_gov};
       ok = ok && ablation_match &&
-           sweep::check_equivalence(original, by_stp_off).equivalent;
+           sweep::check_equivalence(original, by_stp_off, abl_cec_config)
+               .equivalent;
+    }
+    if (g_interrupted.load(std::memory_order_relaxed)) {
+      break; // drop the in-flight row; completed rows are kept
     }
     all_verified = all_verified && ok;
 
     char pipo[32];
     std::snprintf(pipo, sizeof pipo, "%u/%u", original.num_pis(),
                   original.num_pos());
+    // Flag rows whose sweeps ended early — their counters describe a
+    // sound partial result, not a full sweep.
+    char outcome_note[48] = "";
+    if (fs.outcome != sweep::sweep_outcome::complete ||
+        ss.outcome != sweep::sweep_outcome::complete) {
+      std::snprintf(outcome_note, sizeof outcome_note, "  [F:%s S:%s]",
+                    sweep::sweep_outcome_name(fs.outcome),
+                    sweep::sweep_outcome_name(ss.outcome));
+    }
     std::printf("%-13s %11s %5u %7u %7u | %7llu %7llu | %8llu %8llu | "
-                "%7.3f %7.3f | %7.3f %7.3f %5.2f%s\n",
+                "%7.3f %7.3f | %7.3f %7.3f %5.2f%s%s\n",
                 name.c_str(), pipo, fs.levels_before, fs.gates_before,
                 ss.gates_after,
                 static_cast<unsigned long long>(fs.sat_calls_satisfiable),
@@ -333,7 +469,7 @@ int main(int argc, char** argv)
                 static_cast<unsigned long long>(ss.sat_calls_total),
                 fs.sim_seconds, ss.sim_seconds, fs.total_seconds,
                 ss.total_seconds, ss.total_seconds / fs.total_seconds,
-                ok ? "" : "  [CEC FAILED]");
+                outcome_note, ok ? "" : "  [CEC FAILED]");
 
     json_rows.push_back({name, original.num_pis(), original.num_pos(),
                          fs.levels_before, fs.gates_before, ss.gates_after,
@@ -350,33 +486,44 @@ int main(int argc, char** argv)
     g_result.push_back(ss.gates_after);
   }
 
-  if (json_rows.empty()) {
+  const bool interrupted = g_interrupted.load(std::memory_order_relaxed);
+  if (json_rows.empty() && !interrupted) {
     std::fprintf(stderr, "no benchmarks matched --only\n");
     return 1;
   }
-  std::printf("\n%-13s gates %.0f -> %.0f (geo)\n", "Geo.",
-              geomean(g_gate), geomean(g_result));
-  std::printf("satisfiable SAT calls: %8.0f -> %8.0f   Imp. %.2f "
-              "(paper: 0.09)\n",
-              geomean(g_sat_f), geomean(g_sat_s),
-              geomean(g_sat_s) / geomean(g_sat_f));
-  std::printf("total SAT calls:       %8.0f -> %8.0f   Imp. %.2f "
-              "(paper: 0.60)\n",
-              geomean(g_tot_f), geomean(g_tot_s),
-              geomean(g_tot_s) / geomean(g_tot_f));
-  std::printf("simulation runtime:    %8.3f -> %8.3f   Imp. %.2f "
-              "(paper: 1.99)\n",
-              geomean(g_sim_f), geomean(g_sim_s),
-              geomean(g_sim_s) / geomean(g_sim_f));
-  std::printf("total runtime:         %8.3f -> %8.3f   Imp. %.2f "
-              "(paper: 0.65)\n",
-              geomean(g_time_f), geomean(g_time_s),
-              geomean(g_time_s) / geomean(g_time_f));
-  std::printf("\nall results CEC-verified: %s\n",
-              all_verified ? "yes" : "NO — BUG");
+  if (!json_rows.empty()) {
+    std::printf("\n%-13s gates %.0f -> %.0f (geo)\n", "Geo.",
+                geomean(g_gate), geomean(g_result));
+    std::printf("satisfiable SAT calls: %8.0f -> %8.0f   Imp. %.2f "
+                "(paper: 0.09)\n",
+                geomean(g_sat_f), geomean(g_sat_s),
+                geomean(g_sat_s) / geomean(g_sat_f));
+    std::printf("total SAT calls:       %8.0f -> %8.0f   Imp. %.2f "
+                "(paper: 0.60)\n",
+                geomean(g_tot_f), geomean(g_tot_s),
+                geomean(g_tot_s) / geomean(g_tot_f));
+    std::printf("simulation runtime:    %8.3f -> %8.3f   Imp. %.2f "
+                "(paper: 1.99)\n",
+                geomean(g_sim_f), geomean(g_sim_s),
+                geomean(g_sim_s) / geomean(g_sim_f));
+    std::printf("total runtime:         %8.3f -> %8.3f   Imp. %.2f "
+                "(paper: 0.65)\n",
+                geomean(g_time_f), geomean(g_time_s),
+                geomean(g_time_s) / geomean(g_time_f));
+    std::printf("\nall results CEC-verified: %s\n",
+                all_verified ? "yes" : "NO — BUG");
+  }
+  if (interrupted) {
+    std::printf("\ninterrupted — %zu completed row%s kept, in-flight row "
+                "dropped\n",
+                json_rows.size(), json_rows.size() == 1u ? "" : "s");
+  }
   if (!json_path.empty() &&
-      !write_json(json_path, base_patterns, scale, json_rows)) {
+      !write_json(json_path, base_patterns, scale, json_rows, interrupted)) {
     return 1;
+  }
+  if (interrupted) {
+    return 130; // conventional SIGINT exit status
   }
   return all_verified ? 0 : 1;
 }

@@ -75,7 +75,11 @@ int main()
               static_cast<unsigned long long>(sw.window_merges),
               static_cast<unsigned long long>(sw.sat_calls_total));
   const sweep::cec_result cec = sweep::check_equivalence(before, redundant);
+  // Tri-state verdict: "not equivalent" is claimed only on a witnessed
+  // difference, never when a budget merely ran out.
   std::printf("CEC verdict: %s\n",
-              cec.equivalent ? "equivalent" : "NOT EQUIVALENT (bug!)");
+              cec.equivalent          ? "equivalent"
+              : cec.proven_inequivalent() ? "NOT EQUIVALENT (bug!)"
+                                          : "undecided (budget)");
   return cec.equivalent && agree ? 0 : 1;
 }

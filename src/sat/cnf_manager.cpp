@@ -20,9 +20,12 @@ cnf_manager::cnf_manager(const net::aig_network& aig, params p)
     : aig_{aig}, params_{p}, solver_{std::make_unique<solver>()},
       encoder_{std::make_unique<aig_encoder>(
           aig_, *solver_, aig_encoder::options{p.cone_scoped_decisions})},
-      reseed_on_{p.phase_reseed_sat_per_mille != 0u}
+      reseed_on_{p.phase_reseed_sat_per_mille != 0u},
+      fault_rng_{p.faults.seed != 0u ? p.faults.seed
+                                     : uint64_t{0x9e3779b97f4a7c15ull}}
 {
   encoder_->set_phase_reseed(reseed_on_);
+  encoder_->set_resource_hooks(params_.hooks);
 }
 
 void cnf_manager::set_phase_hints(aig_encoder::phase_hint_fn hints)
@@ -45,7 +48,14 @@ void cnf_manager::begin_query()
   clauses_peak_ = std::max(clauses_peak_, clauses);
   const bool over_budget =
       params_.clause_budget != 0u && clauses > params_.clause_budget;
-  if ((params_.incremental || !used_) && !over_budget) {
+  ++fault_queries_;
+  // Injected garbage epoch: tear the pair down regardless of the clause
+  // budget (only once a query actually ran in this epoch — rebuilding
+  // an untouched pair would churn without exercising anything).
+  const bool forced_rebuild =
+      params_.faults.rebuild_every != 0u && used_ &&
+      fault_queries_ % params_.faults.rebuild_every == 0u;
+  if ((params_.incremental || !used_) && !over_budget && !forced_rebuild) {
     used_ = true;
     return;
   }
@@ -76,7 +86,26 @@ void cnf_manager::begin_query()
     encoder_->set_phase_hints(phase_hints_);
   }
   encoder_->set_phase_reseed(reseed_on_);
+  encoder_->set_resource_hooks(params_.hooks);
   used_ = true;
+}
+
+bool cnf_manager::fault_unknown_now()
+{
+  if (params_.faults.unknown_every == 0u) {
+    return false;
+  }
+  ++fault_equiv_queries_;
+  if (params_.faults.seed == 0u) {
+    // Exact periodic schedule: every k-th equivalence query faults.
+    return fault_equiv_queries_ % params_.faults.unknown_every == 0u;
+  }
+  // Seeded schedule: one xorshift64 draw per query, faulting with
+  // probability 1/k — same expected rate, seed-varied placement.
+  fault_rng_ ^= fault_rng_ << 13;
+  fault_rng_ ^= fault_rng_ >> 7;
+  fault_rng_ ^= fault_rng_ << 17;
+  return fault_rng_ % params_.faults.unknown_every == 0u;
 }
 
 void cnf_manager::note_answer(bool satisfiable)
@@ -100,6 +129,16 @@ result cnf_manager::prove_equivalent(net::signal a, net::signal b,
                                      bool complement, int64_t conflict_budget)
 {
   begin_query();
+  if (fault_unknown_now()) {
+    // Injected unDET: behave exactly like a budget-exhausted search —
+    // the query still ticks the governor's clock and feeds the adaptive
+    // re-seeding statistics as a non-satisfiable answer.
+    if (params_.hooks != nullptr) {
+      params_.hooks->on_query_begin();
+    }
+    note_answer(false);
+    return result::unknown;
+  }
   const result r = encoder_->prove_equivalent(a, b, complement,
                                               conflict_budget);
   note_answer(r == result::sat);

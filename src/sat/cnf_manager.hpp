@@ -30,6 +30,7 @@
 
 #include "network/aig.hpp"
 #include "sat/encoder.hpp"
+#include "sat/resource.hpp"
 #include "sat/solver.hpp"
 
 #include <memory>
@@ -76,6 +77,14 @@ public:
     /// applying).  0 = never re-seed per query.
     uint32_t phase_reseed_sat_per_mille = 125;
     uint64_t phase_reseed_warmup = 64;
+    /// Cooperative resource governance (sweep::resource_governor
+    /// implements the interface): forwarded to the encoder + solver of
+    /// every epoch, so deadlines/budgets/cancellation survive garbage
+    /// rebuilds.  Non-owning; must outlive the manager.  Null =
+    /// ungoverned (bit-identical to the pre-governor build).
+    resource_hooks* hooks = nullptr;
+    /// Deterministic fault injection (sat/resource.hpp); all-zero = off.
+    fault_plan faults{};
   };
 
   /// \p aig must outlive the manager (the encoder keeps a reference).
@@ -137,10 +146,14 @@ public:
   bool phase_reseed_live() const noexcept { return reseed_on_; }
 
 private:
-  /// Applies the rebuild policy; called at every query entry.
+  /// Applies the rebuild policy (including `fault_plan::rebuild_every`);
+  /// called at every query entry.
   void begin_query();
   /// Feeds the adaptive re-seeding switch with a query's outcome.
   void note_answer(bool satisfiable);
+  /// True when `fault_plan::unknown_every` forces this equivalence
+  /// query to answer `unknown` without searching.
+  bool fault_unknown_now();
 
   const net::aig_network& aig_;
   params params_;
@@ -158,6 +171,9 @@ private:
   uint64_t phase_seeds_retired_ = 0;
   uint64_t rebuilds_ = 0;
   uint64_t clauses_peak_ = 0;
+  uint64_t fault_queries_ = 0;       ///< query entries (fault schedule)
+  uint64_t fault_equiv_queries_ = 0; ///< equivalence queries (ditto)
+  uint64_t fault_rng_ = 0;           ///< xorshift64 state (seeded plans)
   solver_stats stats_retired_; ///< stats of torn-down solvers, summed
 };
 

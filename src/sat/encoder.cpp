@@ -173,6 +173,9 @@ void aig_encoder::scope_query(std::span<const lit> roots, var extra)
 result aig_encoder::prove_equivalent(net::signal a, net::signal b,
                                      bool complement, int64_t conflict_budget)
 {
+  if (governed_stop_at_query()) {
+    return result::unknown;
+  }
   const lit la = literal(a);
   const lit lb = literal(b);
   // a == b  iff  a ⊕ b is unsatisfiable; a == !b iff ¬(a ⊕ b) is.  The
@@ -208,6 +211,9 @@ result aig_encoder::prove_equivalent(net::signal a, net::signal b,
 result aig_encoder::prove_constant(net::signal f, bool value,
                                    int64_t conflict_budget)
 {
+  if (governed_stop_at_query()) {
+    return result::unknown;
+  }
   // f == value is a tautology iff f == !value is unsatisfiable.
   const lit lf = literal(f);
   scope_query(std::span<const lit>{&lf, 1u}, no_fanin);
@@ -231,6 +237,9 @@ std::vector<bool> aig_encoder::model_inputs() const
 std::optional<std::vector<bool>> aig_encoder::find_assignment(
     net::signal f, bool value, int64_t conflict_budget)
 {
+  if (governed_stop_at_query()) {
+    return std::nullopt;
+  }
   const lit lf = literal(f);
   scope_query(std::span<const lit>{&lf, 1u}, no_fanin);
   const lit assumption = value ? lf : ~lf;

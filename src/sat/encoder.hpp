@@ -77,6 +77,19 @@ public:
   /// the bench's `phase_seed_words` counter).
   uint64_t phase_seeds() const noexcept { return phase_seeds_; }
 
+  /// Installs (or clears, with nullptr) the cooperative resource hooks
+  /// (sat/resource.hpp) and forwards them to the solver.  The encoder
+  /// is the query-boundary owner: every query entry (equivalence,
+  /// constant, or assignment) ticks `on_query_begin` and, if
+  /// `should_stop` already holds, answers `unknown` (nullopt for
+  /// find_assignment) without encoding or searching.  The hooks must
+  /// outlive the encoder or be cleared first.
+  void set_resource_hooks(resource_hooks* hooks) noexcept
+  {
+    hooks_ = hooks;
+    solver_.set_resource_hooks(hooks);
+  }
+
   /// Captures every encoded node's saved phase + normalized activity.
   void snapshot_var_state(var_state_snapshot& out) const;
   /// Replays \p carried (which must outlive the encoder) onto nodes as
@@ -124,9 +137,21 @@ private:
   /// the var-indexed arrays and replays any carried phase/activity.
   var make_var(net::node n, var fanin0, var fanin1);
 
+  /// Query-entry tick + stop poll shared by the three query kinds.
+  /// Returns true when the query must answer `unknown` immediately.
+  bool governed_stop_at_query() noexcept
+  {
+    if (hooks_ == nullptr) {
+      return false;
+    }
+    hooks_->on_query_begin();
+    return hooks_->should_stop();
+  }
+
   const net::aig_network& aig_;
   solver& solver_;
   options opt_;
+  resource_hooks* hooks_ = nullptr; // non-owning; null = ungoverned
   phase_hint_fn phase_hints_;
   bool reseed_phases_ = true;
   const var_state_snapshot* carried_ = nullptr;

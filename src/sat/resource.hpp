@@ -1,0 +1,82 @@
+/// \file resource.hpp
+/// \brief Cooperative resource governance and deterministic fault
+/// injection, as seen from the SAT layer.
+///
+/// The sweeping stack owns the policy (wall-clock deadlines, a global
+/// conflict pool, cancellation — sweep/resource_governor.hpp); the SAT
+/// layer only needs three narrow capabilities, expressed here as an
+/// abstract hook so `sat` never depends on `sweep`:
+///
+/// * a **query-boundary tick** (`on_query_begin`) — lets a virtual
+///   clock advance deterministically per query in tests;
+/// * a **stop poll** (`should_stop`) — checked at query entry so no new
+///   search starts after a deadline/cancellation, and inside the CDCL
+///   loop so an in-flight search winds down with `result::unknown`
+///   instead of running to completion;
+/// * **conflict accounting** (`consume_conflicts`) — the CDCL loop
+///   reports its conflicts every `resource_check_interval`, charging a
+///   global pool that spans every query of a sweep (the per-query
+///   `conflict_budget` is a separate, local limit).
+///
+/// All hooks must be cheap and deterministic-friendly: with no governor
+/// installed the solver behaves bit-identically to the ungoverned build.
+#pragma once
+
+#include <cstdint>
+
+namespace stps::sat {
+
+/// How many conflicts the CDCL loop runs between `consume_conflicts`
+/// calls.  Small enough that a deadline or an exhausted global pool
+/// interrupts a runaway query promptly, large enough that the check is
+/// free next to the conflicts themselves.
+inline constexpr uint64_t resource_check_interval = 64;
+
+class resource_hooks
+{
+public:
+  virtual ~resource_hooks() = default;
+
+  /// One SAT query is about to run (equivalence, constant, or guided
+  /// pattern query alike).  Virtual-clock governors advance here.
+  virtual void on_query_begin() noexcept {}
+
+  /// True when the current work should wind down (deadline expired,
+  /// global conflict pool exhausted, or cancellation requested).  The
+  /// encoder checks this at query entry and answers `unknown` without
+  /// searching; callers observe the same poll at their own boundaries.
+  virtual bool should_stop() noexcept { return false; }
+
+  /// \p conflicts CDCL conflicts happened since the last call (the
+  /// solver reports every `resource_check_interval` conflicts and
+  /// flushes the remainder before returning, so global accounting is
+  /// exact).  Returning true aborts the in-flight solve with
+  /// `result::unknown`; a flush after the answer is found never aborts.
+  virtual bool consume_conflicts(uint64_t conflicts) noexcept
+  {
+    (void)conflicts;
+    return false;
+  }
+};
+
+/// Deterministic fault-injection schedule for `cnf_manager` (and,
+/// through it, both sweepers): every abort path the robustness layer
+/// must survive can be forced on purpose, reproducibly, so tests and
+/// the differential harness can assert each partial result is sound.
+/// All-zero (the default) injects nothing.
+struct fault_plan
+{
+  /// Schedule seed.  0 = the exact periodic schedule (every k-th query
+  /// faults); nonzero = a seeded xorshift64 draw per query faulting
+  /// with probability 1/k — same expected rate, seed-varied placement.
+  uint64_t seed = 0;
+  /// Force every (expected) k-th *equivalence* query to answer
+  /// `unknown` without searching — the budget-exhausted unDET path.
+  /// 0 = off.
+  uint32_t unknown_every = 0;
+  /// Force a garbage-epoch rebuild at every k-th query entry regardless
+  /// of the clause budget.  0 = off.
+  uint32_t rebuild_every = 0;
+};
+
+} // namespace stps::sat

@@ -573,11 +573,29 @@ result solver::solve(std::span<const lit> assumptions,
   if (!ok_) {
     return result::unsat;
   }
+  if (hooks_ != nullptr && hooks_->should_stop()) {
+    // Governed stop before any search: answer unknown without touching
+    // the trail.  Checked after ok_ so a database already proven unsat
+    // keeps answering unsat.
+    return result::unknown;
+  }
   backtrack(0u);
   if (propagate() != nullptr) {
     ok_ = false;
     return result::unsat;
   }
+
+  // Conflicts since the last consume_conflicts report; flushed at every
+  // return so the governor's global accounting is exact.  A flush after
+  // the answer is found only charges the pool — it never flips the
+  // answer.
+  uint64_t unreported_conflicts = 0;
+  const auto finish = [&](result r) {
+    if (hooks_ != nullptr && unreported_conflicts != 0u) {
+      hooks_->consume_conflicts(unreported_conflicts);
+    }
+    return r;
+  };
 
   uint64_t conflicts_this_call = 0;
   uint64_t restart_index = 0;
@@ -593,9 +611,10 @@ result solver::solve(std::span<const lit> assumptions,
       ++stats_.conflicts;
       ++conflicts_this_call;
       ++conflicts_since_restart;
+      ++unreported_conflicts;
       if (decision_level() == 0u) {
         ok_ = false;
-        return result::unsat;
+        return finish(result::unsat);
       }
       uint32_t bt_level = 0;
       analyze(conflict, learnt, bt_level);
@@ -611,10 +630,19 @@ result solver::solve(std::span<const lit> assumptions,
         enqueue(learnt[0], c);
       }
       decay_var_activity();
+      if (hooks_ != nullptr &&
+          unreported_conflicts >= resource_check_interval) {
+        const bool stop = hooks_->consume_conflicts(unreported_conflicts);
+        unreported_conflicts = 0;
+        if (stop) {
+          backtrack(0u);
+          return result::unknown;
+        }
+      }
       if (conflict_budget >= 0 &&
           conflicts_this_call >= static_cast<uint64_t>(conflict_budget)) {
         backtrack(0u);
-        return result::unknown;
+        return finish(result::unknown);
       }
     } else {
       if (conflicts_since_restart >= restart_budget) {
@@ -639,7 +667,7 @@ result solver::solve(std::span<const lit> assumptions,
           trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
         } else if (value(a) == lbool::l_false) {
           backtrack(0u);
-          return result::unsat;
+          return finish(result::unsat);
         } else {
           next = a;
           break;
@@ -651,7 +679,7 @@ result solver::solve(std::span<const lit> assumptions,
           // All variables assigned: model found.
           model_ = assigns_;
           backtrack(0u);
-          return result::sat;
+          return finish(result::sat);
         }
         ++stats_.decisions;
       }

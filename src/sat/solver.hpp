@@ -11,6 +11,7 @@
 /// and activity-based learnt-clause reduction.
 #pragma once
 
+#include "sat/resource.hpp"
 #include "sat/types.hpp"
 
 #include <cstdint>
@@ -116,6 +117,17 @@ public:
   /// support closure of the query, or partial models may not extend.
   /// Must be called at decision level 0.
   void set_decision_vars(std::span<const var> vars);
+
+  /// Installs (or clears, with nullptr) the cooperative resource hooks
+  /// (sat/resource.hpp).  Inside solve() conflicts are reported to the
+  /// hooks every `resource_check_interval` conflicts — with the exact
+  /// remainder flushed at every return — and a true answer from
+  /// `consume_conflicts` (or `should_stop` at solve entry) aborts the
+  /// search with `result::unknown`, independently of the per-call
+  /// `conflict_budget`.  The hooks must outlive the solver or be
+  /// cleared first.  Null (the default) is bit-identical to ungoverned
+  /// solving.
+  void set_resource_hooks(resource_hooks* hooks) noexcept { hooks_ = hooks; }
 
   /// Solves under \p assumptions.  \p conflict_budget < 0 means no budget.
   result solve(std::span<const lit> assumptions = {},
@@ -246,6 +258,7 @@ private:
 
   std::vector<lbool> model_;
   solver_stats stats_;
+  resource_hooks* hooks_ = nullptr; // non-owning; null = ungoverned
 };
 
 } // namespace stps::sat

@@ -107,15 +107,23 @@ cec_result check_equivalence(const net::aig_network& a,
   // Guided pattern generation buys candidate quality, not proof speed;
   // for pure verification the plain random configuration is the right
   // trade.
-  const fraig_params sweep_params{params.sim_patterns, params.seed + 1u,
-                                  params.conflict_budget,
-                                  /*guided=*/false};
+  fraig_params sweep_params{params.sim_patterns, params.seed + 1u,
+                            params.conflict_budget,
+                            /*guided=*/false};
+  sweep_params.governor = params.governor;
   const sweep_stats fraig_stats = fraig_sweep(miter, sweep_params);
   result.sat_calls += fraig_stats.sat_calls_total;
 
   sat::solver solver;
   sat::aig_encoder encoder{miter, solver};
+  encoder.set_resource_hooks(params.governor);
   for (uint32_t i = 0; i < xors.size(); ++i) {
+    if (params.governor != nullptr && params.governor->should_stop()) {
+      // Governed wind-down: unproven POs stay undecided — a tripped
+      // deadline is never evidence of a difference.
+      result.undecided = true;
+      break;
+    }
     const net::signal x = miter.po_at(i); // rewired by the sweep
     if (x == miter.get_constant(false)) {
       continue; // proven equal structurally
@@ -133,6 +141,9 @@ cec_result check_equivalence(const net::aig_network& a,
       result.undecided = true;
     }
   }
+  // Tri-state: every difference return above carries a witness, so a
+  // fall-through with `undecided` set means "ran out of budget", not
+  // "not equivalent" — cec_result::verdict() keeps the two apart.
   result.equivalent = !result.undecided;
   return result;
 }

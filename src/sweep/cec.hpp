@@ -9,6 +9,7 @@
 #pragma once
 
 #include "network/aig.hpp"
+#include "sweep/resource_governor.hpp"
 
 #include <cstdint>
 #include <optional>
@@ -16,8 +17,24 @@
 
 namespace stps::sweep {
 
+/// Tri-state CEC outcome.  `undecided` is a first-class verdict — a
+/// finite conflict budget (or a tripped resource governor) can exhaust
+/// on some PO, and that is *not* evidence of inequivalence.
+enum class cec_verdict : uint8_t
+{
+  equivalent = 0,
+  inequivalent = 1, ///< witnessed by a concrete counter-example
+  undecided = 2,    ///< budget/deadline ran out before a proof either way
+};
+
 struct cec_result
 {
+  /// True only when every PO pair was *proven* equal.  Note the
+  /// tri-state: `equivalent == false` does NOT imply a difference was
+  /// found — check `undecided` (or use `verdict()` /
+  /// `proven_inequivalent()`).  Callers that gate on `equivalent` alone
+  /// are conservative: an undecided run fails the gate, it never
+  /// certifies a wrong network.
   bool equivalent = false;
   /// PO index and PI assignment witnessing a difference (when not
   /// equivalent and not undecided).
@@ -26,6 +43,21 @@ struct cec_result
   bool undecided = false; ///< conflict budget exhausted on some PO
   uint64_t sat_calls = 0;
   uint64_t sim_filtered = 0; ///< PO pairs discharged by simulation alone
+
+  /// The explicit tri-state view of (equivalent, undecided).
+  cec_verdict verdict() const noexcept
+  {
+    if (undecided) {
+      return cec_verdict::undecided;
+    }
+    return equivalent ? cec_verdict::equivalent : cec_verdict::inequivalent;
+  }
+  /// True only on a *witnessed* difference — never on budget
+  /// exhaustion.  The check for "this sweep corrupted the network".
+  bool proven_inequivalent() const noexcept
+  {
+    return !equivalent && !undecided;
+  }
 };
 
 struct cec_params
@@ -33,6 +65,10 @@ struct cec_params
   uint64_t sim_patterns = 1024;
   uint64_t seed = 99;
   int64_t conflict_budget = -1;
+  /// Resource governor bounding the whole check (non-owning; null =
+  /// ungoverned).  A tripped governor yields `undecided`, never a
+  /// difference verdict.
+  resource_governor* governor = nullptr;
 };
 
 /// Checks PO-wise equivalence of \p a and \p b (same PI/PO counts).

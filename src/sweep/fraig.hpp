@@ -32,6 +32,15 @@ struct fraig_params
   /// plain-random configuration remains available for ablations.
   bool use_guided_patterns = true;
 
+  /// \name Budgeted, interruptible sweeping (same semantics as
+  /// stp_sweep_params — see stp_sweeper.hpp point 6)
+  /// \{
+  resource_governor* governor = nullptr; ///< non-owning; null = ungoverned
+  uint32_t undet_retry_rounds = 3;  ///< escalating unDET retry rounds
+  uint32_t undet_budget_factor = 2; ///< per-round budget multiplier
+  sat::fault_plan faults{};         ///< deterministic fault injection
+  /// \}
+
   fraig_params() = default;
   fraig_params(uint64_t patterns, uint64_t s, int64_t budget,
                bool guided = true)

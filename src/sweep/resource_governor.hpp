@@ -1,0 +1,183 @@
+/// \file resource_governor.hpp
+/// \brief Resource governance for a whole sweep job: wall-clock
+/// deadline, global conflict pool, and a cooperative stop token.
+///
+/// The paper's only degradation path is Alg. 2's per-query unDET
+/// marking; a sweep job as a whole could not be bounded or cancelled.
+/// The governor closes that gap.  One instance is shared by everything
+/// a job runs — the sweeper's candidate loop, guided pattern
+/// generation, `cec`, and (through `sat::resource_hooks`, which it
+/// implements) the encoder's query entries and the CDCL loop itself —
+/// so a deadline, an exhausted global conflict pool, or a cancellation
+/// request is observed at every boundary:
+///
+/// * the **solver** polls every `sat::resource_check_interval`
+///   conflicts and winds the in-flight search down with `unknown`;
+/// * the **encoder** refuses to start new queries;
+/// * the **sweepers** stop taking candidates, apply only the merges
+///   already proven, and tag the returned `sweep_stats` with the
+///   `sweep_outcome` (`cancelled` > `deadline` > `budget`).
+///
+/// Partial results are sound by construction: merges only ever happen
+/// on completed UNSAT proofs, so stopping between queries can never
+/// leave an unproven substitution behind.
+///
+/// **Determinism.**  `request_stop()` is async-signal-safe (a relaxed
+/// atomic store), so a SIGINT handler may call it directly.  For tests
+/// the governor offers a *virtual clock*: `virtual_clock = true` makes
+/// `elapsed_seconds()` count `virtual_seconds_per_query` per query tick
+/// (plus explicit `advance_virtual` calls) instead of reading the real
+/// clock — deadline expiry then lands on an exact, reproducible query
+/// index, so "deadline at every phase" can be swept deterministically.
+#pragma once
+
+#include "sat/resource.hpp"
+#include "sweep/sweep_stats.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace stps::sweep {
+
+/// Limits a governor enforces.  Zeros mean "unlimited": a
+/// default-constructed governor never stops anything until
+/// `request_stop()` is called.
+struct governor_limits
+{
+  /// Wall-clock budget for the job in seconds; 0 = no deadline.
+  double deadline_seconds = 0.0;
+  /// Global CDCL-conflict pool shared by every query of the job;
+  /// 0 = unlimited.  Orthogonal to the sweepers' *per-query*
+  /// `conflict_budget`.
+  uint64_t conflict_budget_total = 0;
+  /// Trip the stop token at the k-th query tick — a deterministic
+  /// stand-in for SIGINT in tests; 0 = off.
+  uint64_t cancel_after_queries = 0;
+  /// Use the deterministic virtual clock instead of steady_clock.
+  bool virtual_clock = false;
+  /// Virtual seconds each query tick advances the virtual clock by.
+  double virtual_seconds_per_query = 1.0;
+};
+
+class resource_governor final : public sat::resource_hooks
+{
+public:
+  resource_governor() = default;
+  explicit resource_governor(const governor_limits& limits)
+      : limits_{limits}
+  {
+  }
+
+  /// Requests cooperative cancellation.  Async-signal-safe and callable
+  /// from any thread; the job winds down at its next poll.
+  void request_stop() noexcept
+  {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  bool stop_requested() const noexcept
+  {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  /// Advances the virtual clock (virtual_clock mode only; no-op
+  /// otherwise as elapsed_seconds ignores it).
+  void advance_virtual(double seconds) noexcept
+  {
+    virtual_micros_.fetch_add(static_cast<uint64_t>(seconds * 1e6),
+                              std::memory_order_relaxed);
+  }
+
+  /// Job time so far: real steady-clock time since construction, or —
+  /// in virtual mode — query ticks × virtual_seconds_per_query plus
+  /// explicit advances.
+  double elapsed_seconds() const
+  {
+    if (limits_.virtual_clock) {
+      const double ticked =
+          static_cast<double>(queries_.load(std::memory_order_relaxed)) *
+          limits_.virtual_seconds_per_query;
+      return ticked +
+             static_cast<double>(
+                 virtual_micros_.load(std::memory_order_relaxed)) /
+                 1e6;
+    }
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(dt).count();
+  }
+
+  uint64_t conflicts_used() const noexcept
+  {
+    return conflicts_.load(std::memory_order_relaxed);
+  }
+  uint64_t queries_seen() const noexcept
+  {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+  bool deadline_expired() const
+  {
+    return limits_.deadline_seconds > 0.0 &&
+           elapsed_seconds() >= limits_.deadline_seconds;
+  }
+  bool budget_exhausted() const noexcept
+  {
+    return limits_.conflict_budget_total != 0u &&
+           conflicts_used() >= limits_.conflict_budget_total;
+  }
+
+  /// How an abort at this instant would be classified.  Precedence:
+  /// an explicit cancellation beats a deadline beats the conflict pool
+  /// (the most intentional cause wins); `complete` when nothing
+  /// tripped.  Sweepers record this only for sweeps that actually
+  /// aborted — a sweep that ran to the end reports `complete` even if
+  /// its deadline expired during the very last query.
+  sweep_outcome outcome() const
+  {
+    if (stop_requested()) {
+      return sweep_outcome::cancelled;
+    }
+    if (deadline_expired()) {
+      return sweep_outcome::deadline;
+    }
+    if (budget_exhausted()) {
+      return sweep_outcome::budget;
+    }
+    return sweep_outcome::complete;
+  }
+
+  /// \name sat::resource_hooks
+  /// \{
+  void on_query_begin() noexcept override
+  {
+    const uint64_t q =
+        queries_.fetch_add(1u, std::memory_order_relaxed) + 1u;
+    if (limits_.cancel_after_queries != 0u &&
+        q >= limits_.cancel_after_queries) {
+      request_stop();
+    }
+  }
+  bool should_stop() noexcept override
+  {
+    return stop_requested() || budget_exhausted() || deadline_expired();
+  }
+  bool consume_conflicts(uint64_t conflicts) noexcept override
+  {
+    conflicts_.fetch_add(conflicts, std::memory_order_relaxed);
+    return should_stop();
+  }
+  /// \}
+
+  const governor_limits& limits() const noexcept { return limits_; }
+
+private:
+  governor_limits limits_{};
+  std::chrono::steady_clock::time_point start_{
+      std::chrono::steady_clock::now()};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> conflicts_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> virtual_micros_{0};
+};
+
+} // namespace stps::sweep

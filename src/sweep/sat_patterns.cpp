@@ -61,6 +61,12 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
   result.patterns = sim::pattern_set::random(
       aig.num_pis(), config.base_patterns, config.seed);
 
+  // Deadline/budget/cancellation poll — once tripped, both rounds stop
+  // issuing queries and the patterns collected so far are returned.
+  const auto stopped = [governor = config.governor]() {
+    return governor != nullptr && governor->should_stop();
+  };
+
   std::vector<bool> proven(aig.size(), false);
 
   // Witnesses are re-simulated *incrementally* (one appended word) the
@@ -110,10 +116,11 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
   // Incremental absorption makes one pass converge: a second iteration
   // would find every signature already current (the loop remains for
   // configs that cap witnesses below convergence).
-  for (uint32_t iter = 0; iter < config.round1_iterations; ++iter) {
+  for (uint32_t iter = 0; iter < config.round1_iterations && !stopped();
+       ++iter) {
     bool any_witness = false;
     aig.foreach_gate([&](net::node n) {
-      if (proven[n]) {
+      if (proven[n] || stopped()) {
         return;
       }
       const uint64_t ones = ones_count(sig, n);
@@ -170,12 +177,16 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
     }
   };
 
+  if (stopped()) {
+    return result;
+  }
+
   if (!config.round2_group_by_signature) {
     // Ablation baseline: one query per still-near-constant gate.
     aig.foreach_gate([&](net::node n) {
       bool toward_ones = false;
       uint64_t ones = 0;
-      if (proven[n] || queries >= config.max_round2_queries ||
+      if (proven[n] || queries >= config.max_round2_queries || stopped() ||
           !near_constant(n, toward_ones, ones)) {
         return;
       }
@@ -223,7 +234,7 @@ guided_pattern_result sat_guided_patterns(const net::aig_network& aig,
                                               : a.first < b.first;
             });
   for (const round2_group& group : groups) {
-    if (queries >= config.max_round2_queries) {
+    if (queries >= config.max_round2_queries || stopped()) {
       break;
     }
     // Earlier groups' witnesses may already have diversified this one;

@@ -19,6 +19,7 @@
 #include "network/aig.hpp"
 #include "sat/cnf_manager.hpp"
 #include "sim/patterns.hpp"
+#include "sweep/resource_governor.hpp"
 
 #include <cstdint>
 #include <utility>
@@ -47,6 +48,12 @@ struct guided_pattern_config
   /// (stp_sweep_params::use_signature_phase; the STP sweeper forwards
   /// its flag — the fraig baseline leaves it off).
   bool use_signature_phase = false;
+  /// Resource governor of the enclosing sweep job (non-owning; null =
+  /// ungoverned).  Both rounds poll it between queries and return the
+  /// patterns generated so far when it trips — a partial pattern set is
+  /// still a valid pattern set, and `proven_constants` only ever holds
+  /// completed UNSAT proofs.
+  resource_governor* governor = nullptr;
 };
 
 struct guided_pattern_result

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 
@@ -174,9 +175,31 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   stats.gates_before = aig.num_gates();
   stats.levels_before = net::depth(aig);
 
-  sat::cnf_manager cnf{aig,
-                       {params.use_incremental_cnf, params.sat_clause_budget,
-                        params.use_cone_scoped_decisions}};
+  sat::cnf_manager::params cnf_params;
+  cnf_params.incremental = params.use_incremental_cnf;
+  cnf_params.clause_budget = params.sat_clause_budget;
+  cnf_params.cone_scoped_decisions = params.use_cone_scoped_decisions;
+  cnf_params.hooks = params.governor;
+  cnf_params.faults = params.faults;
+  sat::cnf_manager cnf{aig, cnf_params};
+
+  // Deadline/budget/cancellation poll, and the accounting shared by the
+  // sweep's exit paths.  Aborted sweeps fill the same CNF/solver
+  // counters as complete ones — a partial result must still report what
+  // it spent.
+  const auto stopped = [governor = params.governor]() {
+    return governor != nullptr && governor->should_stop();
+  };
+  const auto fill_cnf_stats = [&]() {
+    stats.sat_nodes_encoded = cnf.nodes_encoded();
+    stats.sat_solver_rebuilds = cnf.rebuilds();
+    stats.sat_clauses_peak = cnf.clauses_peak();
+    const sat::solver_stats solver_totals = cnf.solver_statistics();
+    stats.sat_conflicts = solver_totals.conflicts;
+    stats.sat_decisions = solver_totals.decisions;
+    stats.sat_restarts = solver_totals.restarts;
+    stats.phase_seed_words = cnf.phase_seeds();
+  };
 
   // ---- Initial patterns (Alg. 2 line 2) + constant propagation (line 3).
   // The per-round simulation budget scales with the gate count (capped at
@@ -188,6 +211,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   guided_config.max_round2_queries =
       params.effective_round2_queries(aig.num_gates());
   guided_config.use_signature_phase = params.use_signature_phase;
+  guided_config.governor = params.governor;
   sim::pattern_set patterns;
   if (params.use_guided_patterns) {
     guided_pattern_result guided = sat_guided_patterns(aig, cnf,
@@ -206,6 +230,19 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   } else {
     patterns = sim::pattern_set::random(
         aig.num_pis(), guided_config.base_patterns, guided_config.seed);
+  }
+
+  if (stopped()) {
+    // Aborted during pattern generation: the constants applied above
+    // are each a completed UNSAT proof, so the network is already a
+    // sound partial result — finalize without building the class
+    // machinery (engine/store counters stay unreported).
+    aig.cleanup_dangling();
+    stats.gates_after = aig.num_gates();
+    stats.outcome = params.governor->outcome();
+    fill_cnf_stats();
+    stats.total_seconds = seconds_since(t_total);
+    return stats;
   }
 
   // ---- Initial STP simulation and equivalence classes (line 3). --------
@@ -280,8 +317,8 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   // set's CE word blocks through its ring); with the initial build just
   // done, that is every base word the moment enough of them accumulate.
   const auto trim_absorbed_words = [&]() {
-    if (params.store_word_budget == 0u) {
-      return;
+    if (params.store_word_budget == 0u || params.fault_fail_store_trim) {
+      return; // budget off, or injected trim failure: keep every word
     }
     // The open word must stay live; on an exact 64-pattern boundary the
     // last word is filled *and* refined with (the caller just flushed),
@@ -460,14 +497,29 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
   const std::vector<net::node> order = net::reverse_topo_order(aig);
   std::vector<net::node> members_scratch;
 
-  for (const net::node n : order) {
-    if (aig.is_dead(n) || dont_touch[n]) {
-      continue; // skip(candidate), lines 7-9
-    }
+  // How one candidate's processing ended (escalating unDET retry +
+  // governed wind-down; see stp_sweeper.hpp point 6).
+  enum class cand_status : uint8_t
+  {
+    settled,  ///< merged, refined away, kept as representative, ...
+    gave_up,  ///< unknown with no rounds left: final dont_touch
+    deferred, ///< unknown: stays in its class, queued for a retry round
+    stopped,  ///< governor tripped mid-processing: wind the sweep down
+  };
+
+  // One candidate against its class, exactly Alg. 2 lines 5-31 —
+  // except that an `unknown` verdict defers instead of marking
+  // dont_touch while \p allow_defer holds.  A deferred candidate keeps
+  // its class membership: it stays available as a merge *target* for
+  // later candidates (merging into an unproven node is sound — only
+  // the pairwise proof matters), and a retry round re-enters here with
+  // a doubled \p budget.
+  const auto process_candidate = [&](const net::node n, int64_t budget,
+                                     bool allow_defer) -> cand_status {
     for (;;) {
       uint32_t c = classes.class_of(n);
       if (c == equiv_classes::no_class) {
-        break;
+        return cand_status::settled;
       }
       // Conditions (b)/(c): the candidate's class must see every
       // buffered counter-example bit before its membership is trusted.
@@ -477,7 +529,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
         stats.sim_seconds += seconds_since(t_sim);
         c = classes.class_of(n);
         if (c == equiv_classes::no_class) {
-          break;
+          return cand_status::settled;
         }
       }
       // Drop members killed by cascaded merges.
@@ -491,14 +543,14 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
         }
         c = classes.class_of(n);
         if (c == equiv_classes::no_class) {
-          break;
+          return cand_status::settled;
         }
       }
 
       maybe_resolve(c);
       c = classes.class_of(n);
       if (c == equiv_classes::no_class) {
-        break;
+        return cand_status::settled;
       }
       const auto it = resolve_cache.find(c);
       const bool resolved =
@@ -508,7 +560,8 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       const std::vector<net::node> drivers =
           tfi.order_drivers(n, classes.members(c));
       if (drivers.empty()) {
-        break; // n is the representative; later candidates may use it
+        // n is the representative; later candidates may use it
+        return cand_status::settled;
       }
       const net::node driver = drivers.front();
       const bool complement = classes.complemented(n, driver);
@@ -523,14 +576,14 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
           ++stats.constant_merges;
         }
         aig.substitute_node(n, net::signal{driver, complement});
-        break;
+        return cand_status::settled;
       }
 
       const auto t_sat = clock_type::now();
       ++stats.sat_calls_total;
       const sat::result r = cnf.prove_equivalent(
           net::signal{n, false}, net::signal{driver, false}, complement,
-          params.conflict_budget);
+          budget);
       stats.sat_seconds += seconds_since(t_sat);
 
       if (r == sat::result::unsat) {
@@ -540,13 +593,21 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
           ++stats.constant_merges;
         }
         aig.substitute_node(n, net::signal{driver, complement});
-        break;
+        return cand_status::settled;
       }
       if (r == sat::result::unknown) {
+        if (stopped()) {
+          // Governed wind-down, not a hard query: the candidate is
+          // neither proven nor abandoned — leave it untouched.
+          return cand_status::stopped;
+        }
+        if (allow_defer) {
+          return cand_status::deferred;
+        }
         dont_touch[n] = true; // mark_dont_touch, lines 19-21
         ++stats.dont_touch;
         classes.remove_member(n);
-        break;
+        return cand_status::gave_up;
       }
 
       // Counter-example (lines 26-28, batched): the bit lands in the
@@ -572,6 +633,86 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
       }
       stats.sim_seconds += seconds_since(t_sim);
     }
+  };
+
+  // Deferral is live only when a finite per-query budget can actually
+  // produce unknowns — with the unlimited default the queue stays empty
+  // and the loop below is byte-identical to single-shot marking.
+  const bool retries_on =
+      params.conflict_budget >= 0 && params.undet_retry_rounds > 0u;
+  std::vector<net::node> deferred;
+  bool aborted = false;
+
+  for (const net::node n : order) {
+    if (stopped()) {
+      aborted = true;
+      break;
+    }
+    if (aig.is_dead(n) || dont_touch[n]) {
+      continue; // skip(candidate), lines 7-9
+    }
+    const cand_status status =
+        process_candidate(n, params.conflict_budget, retries_on);
+    if (status == cand_status::deferred) {
+      deferred.push_back(n);
+    } else if (status == cand_status::stopped) {
+      aborted = true;
+      break;
+    }
+  }
+
+  // ---- Escalating unDET retry rounds (stp_sweeper.hpp point 6). --------
+  // Each round re-queries the still-deferred candidates with the budget
+  // multiplied by `undet_budget_factor`; the last round may no longer
+  // defer, so every survivor settles or ends as a final dont_touch.
+  const int64_t factor =
+      std::max<int64_t>(int64_t{params.undet_budget_factor}, 1);
+  int64_t retry_budget = params.conflict_budget;
+  std::vector<net::node> still_deferred;
+  for (uint32_t round = 1;
+       round <= params.undet_retry_rounds && !deferred.empty() && !aborted;
+       ++round) {
+    retry_budget =
+        retry_budget > std::numeric_limits<int64_t>::max() / factor
+            ? std::numeric_limits<int64_t>::max()
+            : retry_budget * factor;
+    const bool more_rounds = round < params.undet_retry_rounds;
+    still_deferred.clear();
+    for (const net::node n : deferred) {
+      if (stopped()) {
+        aborted = true;
+        break;
+      }
+      if (aig.is_dead(n)) {
+        // A cascaded merge settled it while it sat in the queue.
+        ++stats.undet_resolved;
+        continue;
+      }
+      ++stats.undet_retries;
+      switch (process_candidate(n, retry_budget, more_rounds)) {
+        case cand_status::settled:
+          ++stats.undet_resolved;
+          break;
+        case cand_status::deferred:
+          still_deferred.push_back(n);
+          break;
+        case cand_status::stopped:
+          aborted = true;
+          break;
+        case cand_status::gave_up:
+          break;
+      }
+      if (aborted) {
+        break;
+      }
+    }
+    std::swap(deferred, still_deferred);
+  }
+  // Candidates still deferred after an abort are left unresolved — the
+  // sweep never got to decide them, which is not the same as unDET.
+
+  if (aborted && params.governor != nullptr) {
+    stats.outcome = params.governor->outcome();
   }
 
   aig.cleanup_dangling();
@@ -590,14 +731,7 @@ sweep_stats stp_sweep(net::aig_network& aig, const stp_sweep_params& params)
     stats.ce_targets_pruned =
         escalated ? esc_pruned : cesim->targets_pruned();
   }
-  stats.sat_nodes_encoded = cnf.nodes_encoded();
-  stats.sat_solver_rebuilds = cnf.rebuilds();
-  stats.sat_clauses_peak = cnf.clauses_peak();
-  const sat::solver_stats solver_totals = cnf.solver_statistics();
-  stats.sat_conflicts = solver_totals.conflicts;
-  stats.sat_decisions = solver_totals.decisions;
-  stats.sat_restarts = solver_totals.restarts;
-  stats.phase_seed_words = cnf.phase_seeds();
+  fill_cnf_stats();
   stats.has_store_counters = true;
   stats.store_words_live = sig.live_words() + cesim->store().live_words();
   stats.store_words_trimmed = sig.words_trimmed() +

@@ -28,8 +28,19 @@
 ///    cost loses to plain whole-AIG word resimulation on sub-10k-gate
 ///    instances, so `ce_engine = auto` dispatches by gate count; both
 ///    engines are proven result-identical by the differential harness.
-/// 6. **unDET handling**: budget-exhausted queries mark the candidate
-///    don't-touch (lines 19-21).
+/// 6. **unDET handling with escalating retry**: the paper marks a
+///    budget-exhausted candidate don't-touch permanently (lines 19-21);
+///    here an `unknown` verdict *defers* the candidate into a retry
+///    queue instead.  After the main pass the queue is re-queried in up
+///    to `undet_retry_rounds` rounds with the per-query budget
+///    multiplied by `undet_budget_factor` each round — easy-but-unlucky
+///    queries settle cheaply, genuinely hard ones still end as
+///    `dont_touch` after the last round.  With an unlimited
+///    `conflict_budget` (the default) no query can answer unknown and
+///    the behavior is exactly the paper's.  A `resource_governor` can
+///    additionally bound the whole sweep (deadline / global conflict
+///    pool / cancellation); aborting applies only proven merges and
+///    tags `sweep_stats::outcome`.
 /// 7. **Batched counter-example refinement** (classic FRAIG batching):
 ///    CE bits are buffered into the open tail word by the event-driven
 ///    single-bit pass, and classes are re-partitioned lazily — the
@@ -132,6 +143,31 @@ struct stp_sweep_params
   bool use_cone_scoped_decisions = true;
 
   int64_t conflict_budget = -1;  ///< equivalence queries; -1 = unlimited
+
+  /// \name Budgeted, interruptible sweeping
+  /// \{
+  /// Resource governor of the whole sweep job (non-owning; null =
+  /// ungoverned).  Shared with the CNF layer, the CDCL loop, and guided
+  /// pattern generation; when it trips, the in-flight query finishes
+  /// (or winds down with `unknown`), only proven merges are applied,
+  /// and the returned network is a sound partial result with
+  /// `sweep_stats::outcome` naming the cause.
+  resource_governor* governor = nullptr;
+  /// Escalating unDET retry: rounds of re-querying deferred candidates
+  /// after the main pass, each with the per-query budget multiplied by
+  /// `undet_budget_factor`.  0 = the paper's single-shot marking.
+  /// Irrelevant while `conflict_budget` is unlimited (nothing defers).
+  uint32_t undet_retry_rounds = 3;
+  uint32_t undet_budget_factor = 2;
+  /// Deterministic fault injection for the SAT layer
+  /// (sat::fault_plan, forwarded to the cnf_manager); all-zero = off.
+  sat::fault_plan faults{};
+  /// Injected store/pattern trim failure: every trim request is
+  /// refused, as if freeing absorbed words failed.  Trims only release
+  /// memory, so results must be identical (pinned by the fault suite).
+  bool fault_fail_store_trim = false;
+  /// \}
+
   std::size_t tfi_limit = 1000;  ///< Alg. 2 line 1
   uint32_t window_max_support = 15; ///< "< 16 leaves" (§IV-A)
   /// Scaled windowing: on paper-scale instances a satisfiable SAT call

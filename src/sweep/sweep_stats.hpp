@@ -27,6 +27,30 @@ constexpr const char* ce_engine_name(ce_engine_kind kind) noexcept
   }
 }
 
+/// How a sweep ended (sweep/resource_governor.hpp).  Anything other
+/// than `complete` means the sweep wound down early — the returned
+/// network is still a *sound partial result* (only proven merges were
+/// applied; the abort precedence is cancelled > deadline > budget).
+enum class sweep_outcome : uint8_t
+{
+  complete = 0,  ///< ran to the end (including an ungoverned sweep)
+  deadline = 1,  ///< wall-clock (or virtual-clock) deadline expired
+  budget = 2,    ///< global conflict pool exhausted
+  cancelled = 3, ///< stop token tripped (SIGINT / cancel_after_queries)
+};
+
+/// Stable name for logs/JSON ("complete", "deadline", "budget",
+/// "cancelled").
+constexpr const char* sweep_outcome_name(sweep_outcome outcome) noexcept
+{
+  switch (outcome) {
+    case sweep_outcome::deadline: return "deadline";
+    case sweep_outcome::budget: return "budget";
+    case sweep_outcome::cancelled: return "cancelled";
+    default: return "complete";
+  }
+}
+
 struct sweep_stats
 {
   uint32_t gates_before = 0;  ///< "Gate"
@@ -39,8 +63,20 @@ struct sweep_stats
   uint64_t merges = 0;           ///< proven-equivalent substitutions
   uint64_t constant_merges = 0;  ///< constants propagated
   uint64_t window_merges = 0;    ///< merges proven by exhaustive windows
-  uint64_t dont_touch = 0;       ///< unDET-marked candidates
+  uint64_t dont_touch = 0;       ///< unDET candidates given up for good
   uint64_t ce_patterns = 0;      ///< counter-examples simulated
+
+  /// \name Budgeted / interruptible sweeping (resource governor + retry)
+  /// \{
+  /// How the sweep ended; `complete` unless a governor aborted it.
+  sweep_outcome outcome = sweep_outcome::complete;
+  /// Retry attempts issued by the escalating unDET queue — one per
+  /// (deferred candidate, retry round) pair actually re-queried.
+  uint64_t undet_retries = 0;
+  /// Deferred candidates the retry rounds settled without a final
+  /// `dont_touch` (proven, refined away, or merged by a cascade).
+  uint64_t undet_resolved = 0;
+  /// \}
 
   /// Gates evaluated by fanout-driven CE propagation (output-sensitive).
   uint64_t ce_gates_visited = 0;

@@ -99,6 +99,80 @@ TEST(Cec, BudgetCanYieldUndecided)
   // Either proves quickly (identical structure ⇒ trivial miter) or
   // reports undecided — both acceptable; never "not equivalent".
   EXPECT_FALSE(r.failing_po.has_value());
+  EXPECT_FALSE(r.proven_inequivalent());
+  if (r.equivalent) {
+    EXPECT_EQ(r.verdict(), sweep::cec_verdict::equivalent);
+  } else {
+    // Tri-state: budget exhaustion must surface as undecided, never as
+    // a witnessed difference.
+    EXPECT_TRUE(r.undecided);
+    EXPECT_EQ(r.verdict(), sweep::cec_verdict::undecided);
+  }
+}
+
+TEST(Cec, TinyBudgetOnHardMiterIsUndecidedNotInequivalent)
+{
+  // Equivalent but structurally disjoint: a multiplier against its
+  // operand-swapped twin (same function by commutativity, no shared
+  // structure), where proving the PO pairs needs real SAT work that one
+  // conflict per query cannot finish.  The check must come back
+  // undecided — claiming inequivalence here would be the exact bug the
+  // tri-state verdict exists to prevent.
+  const uint32_t width = 8u;
+  const auto a = gen::make_multiplier(width);
+  net::aig_network b;
+  std::vector<net::signal> pis;
+  for (uint32_t i = 0; i < a.num_pis(); ++i) {
+    pis.push_back(b.create_pi());
+  }
+  std::vector<net::signal> map(a.size(), net::signal{0});
+  map[0] = b.get_constant(false);
+  uint32_t pi_index = 0;
+  a.foreach_pi([&](net::node n) {
+    // Operand halves swapped: PI i of `a` reads PI (i + width) mod 2w.
+    map[n] = pis[(pi_index + width) % (2u * width)];
+    ++pi_index;
+  });
+  a.foreach_gate([&](net::node n) {
+    const auto f0 = a.fanin0(n);
+    const auto f1 = a.fanin1(n);
+    const auto s0 = f0.is_complemented() ? !map[f0.get_node()]
+                                         : map[f0.get_node()];
+    const auto s1 = f1.is_complemented() ? !map[f1.get_node()]
+                                         : map[f1.get_node()];
+    map[n] = b.create_and(s0, s1);
+  });
+  a.foreach_po([&](net::signal f, uint32_t) {
+    const auto m = map[f.get_node()];
+    b.create_po(f.is_complemented() ? !m : m);
+  });
+
+  sweep::cec_params params;
+  params.conflict_budget = 1;
+  params.sim_patterns = 64u;
+  const auto r = sweep::check_equivalence(a, b, params);
+  EXPECT_TRUE(r.undecided);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_FALSE(r.proven_inequivalent());
+  EXPECT_FALSE(r.failing_po.has_value());
+  EXPECT_EQ(r.verdict(), sweep::cec_verdict::undecided);
+}
+
+TEST(Cec, TrippedGovernorYieldsUndecided)
+{
+  // A cancelled verification winds down as undecided: cancellation is
+  // never evidence of a difference.
+  const auto a = gen::make_adder(16u);
+  const auto b = gen::inject_redundancy(a, {6u, 2u, 5u});
+  sweep::resource_governor governor;
+  governor.request_stop();
+  sweep::cec_params params;
+  params.governor = &governor;
+  const auto r = sweep::check_equivalence(a, b, params);
+  EXPECT_TRUE(r.undecided);
+  EXPECT_EQ(r.verdict(), sweep::cec_verdict::undecided);
+  EXPECT_FALSE(r.proven_inequivalent());
+  EXPECT_FALSE(r.failing_po.has_value());
 }
 
 } // namespace

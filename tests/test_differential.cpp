@@ -417,4 +417,74 @@ TEST(Differential, PatternRingRecyclesUnderTightBudget)
   EXPECT_TRUE(sweep::check_equivalence(original, aig).equivalent);
 }
 
+/// Finite budgets and injected SAT-layer faults: a fifth differential
+/// column family.  Tight per-query budgets (with and without the
+/// escalating unDET retry), a forced-unknown schedule, forced
+/// garbage-epoch rebuilds, and refused store trims all degrade *effort*
+/// only — every result must stay CEC-equivalent to the original, every
+/// un-governed sweep must report `sweep_outcome::complete`, and the
+/// columns that cannot change answers (rebuild, trim) must land on the
+/// default column's exact result gate count.  This is the slice the
+/// per-push ASan CI job runs.
+TEST(Differential, FiniteBudgetAndInjectedFaultsStaySound)
+{
+  struct fault_column
+  {
+    const char* name;
+    int64_t conflict_budget;
+    uint32_t retry_rounds;
+    uint32_t unknown_every;
+    uint32_t rebuild_every;
+    bool fail_trim;
+    bool result_identical; ///< must match the default column's gates
+  };
+  constexpr fault_column columns[] = {
+      {"default", -1, 3u, 0u, 0u, false, true},
+      {"budget50_retry", 50, 3u, 0u, 0u, false, false},
+      {"budget50_single", 50, 0u, 0u, 0u, false, false},
+      {"fault_unknown", -1, 3u, 3u, 0u, false, false},
+      {"fault_rebuild", -1, 3u, 0u, 7u, false, true},
+      {"fault_trim", -1, 3u, 0u, 0u, true, true},
+  };
+  for (const uint64_t seed : {1u, 6u, 12u, 18u, 23u, 31u, 37u, 42u, 44u,
+                              49u}) {
+    const net::aig_network original = make_network(seed);
+    uint32_t default_gates = 0;
+    for (const fault_column& c : columns) {
+      net::aig_network result = original;
+      sweep::stp_sweep_params params;
+      params.guided.base_patterns = 256u;
+      params.conflict_budget = c.conflict_budget;
+      params.undet_retry_rounds = c.retry_rounds;
+      params.faults.unknown_every = c.unknown_every;
+      params.faults.rebuild_every = c.rebuild_every;
+      params.fault_fail_store_trim = c.fail_trim;
+      params.store_word_budget = 1u; // give the trim fault work to refuse
+      const sweep::sweep_stats s = sweep::stp_sweep(result, params);
+      EXPECT_EQ(s.outcome, sweep::sweep_outcome::complete)
+          << c.name << ", seed " << seed;
+      ASSERT_TRUE(sweep::check_equivalence(original, result).equivalent)
+          << c.name << " not equivalent, seed " << seed;
+      if (std::string{c.name} == "default") {
+        default_gates = result.num_gates();
+      } else if (c.result_identical) {
+        EXPECT_EQ(result.num_gates(), default_gates)
+            << c.name << " diverged, seed " << seed;
+      } else {
+        // Budget/forced-unknown columns may only *miss* merges.
+        EXPECT_GE(result.num_gates(), default_gates)
+            << c.name << ", seed " << seed;
+      }
+    }
+    // The fraig baseline shares the budget + fault layer.
+    net::aig_network by_fraig = original;
+    sweep::fraig_params fparams{256u, seed + 1u, 50};
+    fparams.faults.unknown_every = 5u;
+    const sweep::sweep_stats fs = sweep::fraig_sweep(by_fraig, fparams);
+    EXPECT_EQ(fs.outcome, sweep::sweep_outcome::complete);
+    ASSERT_TRUE(sweep::check_equivalence(original, by_fraig).equivalent)
+        << "fraig budget+fault not equivalent, seed " << seed;
+  }
+}
+
 } // namespace
