@@ -52,7 +52,18 @@
 /// `--conflict-budget-total <n>` caps each sweep's global conflict
 /// pool.  SIGINT/SIGTERM trip the active sweep's governor: the
 /// in-flight row is dropped, completed rows are kept, and the `--json`
-/// file is still written with `"interrupted": true`.
+/// file is still written with `"interrupted": true`.  Because the
+/// governor is shared by every worker of a parallel sweep, one SIGINT
+/// winds down all of them.
+///
+/// `--threads <n>` (default 1) runs the STP sweeps' SAT phase on n
+/// worker threads; `--shards <n>` fixes the class-shard count
+/// independently of the thread count (default: one shard per thread).
+/// The sweep trajectory is a function of the *shard* count only, so
+/// `--threads 4 --shards 4` and `--threads 1 --shards 4` emit
+/// byte-identical counters — the determinism pin.  STP rows gain
+/// `threads`/`sat_shards`/`workers_used`/`worker_sat_seconds` keys; the
+/// ablation re-sweep runs at the same thread/shard configuration.
 #include "gen/benchmarks.hpp"
 #include "network/traversal.hpp"
 #include "sweep/cec.hpp"
@@ -169,6 +180,23 @@ void write_engine_json(std::FILE* f, const char* key,
     std::fprintf(f, "\"phase_seed_words\": %llu, ",
                  static_cast<unsigned long long>(s.phase_seed_words));
   }
+  // Parallel SAT phase: emitted only for sweeps that report per-worker
+  // accounting (the STP rows; fraig stays single-threaded).  At
+  // threads > 1 the *_seconds keys are per-worker sums, and SAT
+  // counters are sums over per-shard managers (learnt-clause state is
+  // per manager, so sharded totals differ from the single-shard run —
+  // compare ratios within one configuration; see bench/README.md).
+  if (!s.worker_sat_seconds.empty()) {
+    std::fprintf(f,
+                 "\"threads\": %u, \"sat_shards\": %u, "
+                 "\"workers_used\": %u, \"worker_sat_seconds\": [",
+                 s.threads, s.sat_shards, s.workers_used);
+    for (std::size_t w = 0; w < s.worker_sat_seconds.size(); ++w) {
+      std::fprintf(f, "%s%.6f", w == 0u ? "" : ", ",
+                   s.worker_sat_seconds[w]);
+    }
+    std::fprintf(f, "], ");
+  }
   if (s.has_store_counters) {
     std::fprintf(f,
                  "\"store_words_live\": %llu, \"store_words_trimmed\": %llu, "
@@ -274,6 +302,8 @@ int main(int argc, char** argv)
   double deadline_seconds = 0.0;       // 0 = no deadline
   uint64_t conflict_budget_total = 0u; // 0 = unlimited global pool
   int64_t conflict_budget = -1;        // per query; -1 = unlimited
+  uint32_t threads = 1;                // STP SAT-phase worker threads
+  uint32_t shards = 0;                 // 0 = one shard per thread
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablation") == 0) {
       ablation = true;
@@ -293,6 +323,12 @@ int main(int argc, char** argv)
     }
     if (std::strcmp(argv[i], "--conflict-budget-total") == 0) {
       conflict_budget_total = std::stoull(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<uint32_t>(std::stoul(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = static_cast<uint32_t>(std::stoul(argv[i + 1]));
     }
     if (std::strcmp(argv[i], "--json") == 0) {
       json_path = argv[i + 1];
@@ -379,6 +415,8 @@ int main(int argc, char** argv)
     params.guided.base_patterns = base_patterns;
     params.ce_engine = ce_engine;
     params.conflict_budget = conflict_budget;
+    params.threads = threads;
+    params.sat_shards = shards;
     params.governor = &stp_gov;
     sweep::sweep_stats ss;
     {

@@ -106,6 +106,7 @@ std::vector<std::string> sweep_names(uint32_t scale)
       {"mult48r", "rand35k", "shift1kr"},
       {"mult64r", "rand70k", nullptr},
       {"mult96r", "rand140k", nullptr},
+      {"mult200r", "rand1m", "rand2m"},
   };
   const uint32_t s = std::min(scale, max_sweep_scale);
   for (uint32_t k = 0; k < s; ++k) {
@@ -217,6 +218,17 @@ sweep_recipe recipe_for(const std::string& name)
   } else if (name == "rand140k") { // ~140k gates
     r.random = {768u, 600u, 125000u, 0x140cau, 15u};
     r.redundancy = {2u, 16u, 0x140cau, 900u};
+  } else if (name == "mult200r") { // ~500k gates (paper upper-mid range)
+    r.kind = K::multiplier;
+    r.width = 200u;
+    r.redundancy = {2u, 10u, 0x5c200u, 800u};
+  } else if (name == "rand1m") { // ~1M gates (the paper's largest tier)
+    r.random = {2048u, 1600u, 950'000u, 0x100cau, 15u};
+    r.redundancy = {2u, 16u, 0x100cau, 2000u};
+  } else if (name == "rand2m") { // ~2M gates: exercises the 19-leaf
+                                 // window tier (≥ 1.92M) + garbage epochs
+    r.random = {3072u, 2400u, 1'900'000u, 0x200cau, 15u};
+    r.redundancy = {2u, 16u, 0x200cau, 3000u};
   } else {
     throw std::invalid_argument{"make_sweep_benchmark: unknown " + name};
   }

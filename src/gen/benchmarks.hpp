@@ -12,7 +12,9 @@
 ///   paper-scale instances of ≥ 30k gates (wider arithmetic and deeper
 ///   random logic with injected redundancy), where the STP sweeper's
 ///   simulation investment can pay off as in the paper.  Each scale step
-///   (up to 3) appends larger instances; see bench/README.md.
+///   (up to 4; scale 4 reaches the paper's 500k-2M-gate upper range and
+///   the 19-leaf window tier) appends larger instances; see
+///   bench/README.md.
 #pragma once
 
 #include "network/aig.hpp"
@@ -36,7 +38,7 @@ net::aig_network make_epfl(const std::string& name);
 std::vector<named_benchmark> epfl_suite();
 
 /// Largest meaningful `scale` argument; higher values clamp.
-inline constexpr uint32_t max_sweep_scale = 3;
+inline constexpr uint32_t max_sweep_scale = 4;
 
 /// All Table II benchmark names, in the paper's order; `scale >= 1`
 /// (clamped to max_sweep_scale) appends the paper-scale instances.

@@ -191,7 +191,9 @@ void aig_network::remove_fanout(node from, node gate)
   }
 }
 
-uint32_t aig_network::substitute_node(node old_node, signal replacement)
+uint32_t aig_network::substitute_node(
+    node old_node, signal replacement,
+    std::vector<std::pair<node, signal>>* cascades)
 {
   std::vector<std::pair<node, signal>> queue;
   queue.emplace_back(old_node, replacement);
@@ -233,6 +235,9 @@ uint32_t aig_network::substitute_node(node old_node, signal replacement)
     repl[o] = r;
     has_repl[o] = true;
     ++died;
+    if (cascades != nullptr) {
+      cascades->emplace_back(o, r);
+    }
 
     for (signal& po : pos_) {
       if (po.get_node() == o) {

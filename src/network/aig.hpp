@@ -115,8 +115,14 @@ public:
   /// Replaces every reference to \p old_node with \p replacement, updating
   /// the structural hash and cascading any merges this exposes (the FRAIG
   /// replace).  \p old_node becomes dead.  Returns the number of gates
-  /// that died (including cascades).
-  uint32_t substitute_node(node old_node, signal replacement);
+  /// that died (including cascades).  When \p cascades is non-null, every
+  /// death is appended as (dead node, resolved function-identical
+  /// replacement signal) — deferred-merge committers use this to keep a
+  /// global replacement map across calls, since the internal resolution
+  /// chain is otherwise per-call state.
+  uint32_t substitute_node(node old_node, signal replacement,
+                           std::vector<std::pair<node, signal>>* cascades
+                           = nullptr);
 
   /// Marks gates unreachable from any PO dead.  Returns how many died.
   uint32_t cleanup_dangling();

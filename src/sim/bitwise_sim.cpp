@@ -1,5 +1,7 @@
 #include "sim/bitwise_sim.hpp"
 
+#include "sim/simd.hpp"
+
 #include <cassert>
 #include <stdexcept>
 #include <vector>
@@ -26,9 +28,7 @@ signature_store simulate_aig(const net::aig_network& aig,
     uint64_t* out = sig.row(n).data();
     const uint64_t ca = a.is_complemented() ? ~uint64_t{0} : 0u;
     const uint64_t cb = b.is_complemented() ? ~uint64_t{0} : 0u;
-    for (std::size_t w = 0; w < words; ++w) {
-      out[w] = (sa[w] ^ ca) & (sb[w] ^ cb);
-    }
+    simd::and_words(out, sa, ca, sb, cb, words);
   });
   sig.mask_tail(patterns.num_patterns());
   return sig;
@@ -155,6 +155,77 @@ void resimulate_aig_all_last_word(const net::aig_network& aig,
       signatures.word(n, last) = va & vb;
     }
   }
+  signatures.mask_tail(patterns.num_patterns());
+}
+
+resim_plan make_resim_plan(const net::aig_network& aig)
+{
+  resim_plan plan;
+  plan.size = static_cast<uint32_t>(aig.size());
+  plan.first = 1u + aig.num_pis();
+  plan.lit0.assign(plan.size, 0u);
+  plan.lit1.assign(plan.size, 0u);
+  const uint32_t blocks =
+      plan.size > plan.first ? (plan.size - plan.first) / 4u : 0u;
+  plan.safe4.assign(blocks / 64u + 1u, 0u);
+  // Gather indices are 32-bit; ids beyond 2^31 would wrap, so such
+  // networks simply get an all-unsafe (scalar) bitmap.
+  const bool gather_safe = plan.size < (uint32_t{1} << 31u);
+  for (uint32_t n = plan.first; n < plan.size; ++n) {
+    const net::signal a = aig.fanin0(n);
+    const net::signal b = aig.fanin1(n);
+    plan.lit0[n] = (a.get_node() << 1u) | (a.is_complemented() ? 1u : 0u);
+    plan.lit1[n] = (b.get_node() << 1u) | (b.is_complemented() ? 1u : 0u);
+  }
+  if (gather_safe) {
+    for (uint32_t bk = 0; bk < blocks; ++bk) {
+      const uint32_t n0 = plan.first + 4u * bk;
+      bool safe = true;
+      for (uint32_t n = n0; n < n0 + 4u; ++n) {
+        if ((plan.lit0[n] >> 1u) >= n0 || (plan.lit1[n] >> 1u) >= n0) {
+          safe = false;
+          break;
+        }
+      }
+      if (safe) {
+        plan.safe4[bk >> 6u] |= uint64_t{1} << (bk & 63u);
+      }
+    }
+  }
+  return plan;
+}
+
+void resimulate_aig_all_last_word(const net::aig_network& aig,
+                                  const pattern_set& patterns,
+                                  signature_store& signatures,
+                                  const resim_plan& plan)
+{
+  const std::size_t words = patterns.num_words();
+  if (words == 0u) {
+    return;
+  }
+  if (signatures.size() < aig.size() || plan.size != aig.size()) {
+    throw std::invalid_argument{
+        "resimulate_aig_all_last_word: store/plan size mismatch"};
+  }
+  while (signatures.num_words() < words) {
+    signatures.append_word();
+  }
+  const std::size_t last = words - 1u;
+  if (last < signatures.base_words()) {
+    // Node-major at the open word: no contiguous word block to
+    // vectorize over; the plain variant handles it.
+    resimulate_aig_all_last_word(aig, patterns, signatures);
+    return;
+  }
+  uint64_t* const wb = signatures.tail_word(last).data();
+  wb[0] = 0u;
+  const uint32_t num_pis = aig.num_pis();
+  for (uint32_t i = 0; i < num_pis; ++i) {
+    wb[aig.pi_at(i)] = patterns.input_word(i, last);
+  }
+  simd::resim_words(wb, plan.lit0.data(), plan.lit1.data(), plan.first,
+                    plan.size, plan.safe4.data());
   signatures.mask_tail(patterns.num_patterns());
 }
 

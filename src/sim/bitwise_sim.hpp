@@ -50,6 +50,37 @@ void resimulate_aig_all_last_word(const net::aig_network& aig,
                                   const pattern_set& patterns,
                                   signature_store& signatures);
 
+/// Precomputed fanin-literal arrays + dependency-safety bitmap feeding
+/// the vectorized whole-AIG resimulation kernel (sim/simd.hpp).  Built
+/// once (per CE-engine build) from a snapshot of every node's fanin
+/// literals; the snapshot stays valid across sweeping's substitutions
+/// because they rewire fanins to *function-identical* signals (proven
+/// equivalences), so evaluating the snapshotted literals produces
+/// byte-identical words to evaluating the current ones.  `safe4` marks
+/// the 4-blocks (counted from `first`) whose eight fanin ids all
+/// precede the block, i.e. blocks free of intra-block dependencies.
+struct resim_plan
+{
+  std::vector<uint32_t> lit0; ///< fanin0 literal (2·node+compl), by id
+  std::vector<uint32_t> lit1; ///< fanin1 literal, by id
+  std::vector<uint64_t> safe4; ///< 4-block dependency-safety bitmap
+  uint32_t first = 0;          ///< first gate id (1 + num_pis)
+  uint32_t size = 0;           ///< aig.size() at snapshot time
+};
+
+/// Snapshots \p aig into a resimulation plan (dead gates included, same
+/// id-order total-evaluation contract as `resimulate_aig_all_last_word`).
+resim_plan make_resim_plan(const net::aig_network& aig);
+
+/// Plan-driven variant of `resimulate_aig_all_last_word`: identical
+/// results, vectorized over dependency-safe 4-blocks when the store is
+/// word-major at the open word (the CE-engine case; otherwise falls
+/// back to the plain variant).
+void resimulate_aig_all_last_word(const net::aig_network& aig,
+                                  const pattern_set& patterns,
+                                  signature_store& signatures,
+                                  const resim_plan& plan);
+
 /// Evaluates a single node under a single full input assignment (slow
 /// reference path used by tests and the CEC debug checker).
 bool evaluate_aig_node(const net::aig_network& aig, net::node n,

@@ -155,6 +155,31 @@ public:
     return w < stride_ ? data_[n * stride_ + w] : tail_[w - stride_][n];
   }
 
+  /// Strided address of word \p w across all nodes, for vectorized
+  /// whole-column access: returns a pointer p and sets \p stride such
+  /// that node n's word is `p[n * stride]` (base words: the node-major
+  /// arena at the row stride; tail words: the word-major block at
+  /// stride 1), or nullptr when the word's storage is absent (trimmed,
+  /// or born trimmed) and every read yields 0 — exactly mirroring the
+  /// `word()` accessor.
+  const uint64_t* word_block(std::size_t w, std::size_t* stride)
+      const noexcept
+  {
+    if (w < stride_) {
+      if (base_freed_) {
+        return nullptr;
+      }
+      *stride = stride_;
+      return data_.data() + w;
+    }
+    const std::vector<uint64_t>& t = tail_[w - stride_];
+    if (t.empty()) {
+      return nullptr;
+    }
+    *stride = 1u;
+    return t.data();
+  }
+
   /// Contiguous view of all nodes' bits of tail word \p w (requires
   /// `w >= base_words()`): element n is node n's word.
   std::span<uint64_t> tail_word(std::size_t w) noexcept

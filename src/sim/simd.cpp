@@ -1,0 +1,285 @@
+#include "sim/simd.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define STPS_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define STPS_SIMD_X86 0
+#endif
+
+namespace stps::sim::simd {
+
+namespace {
+
+// Forced level (-1 = none).  Relaxed atomics: force_level is a
+// test/ablation knob set before kernels run, never raced against them;
+// the atomic only keeps concurrent *reads* from worker threads defined.
+std::atomic<int> g_forced{-1};
+
+level detect() noexcept
+{
+#if STPS_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) {
+    return level::avx2;
+  }
+#endif
+  return level::scalar;
+}
+
+inline uint64_t complement_mask(uint32_t lit) noexcept
+{
+  return uint64_t{0} - static_cast<uint64_t>(lit & 1u);
+}
+
+inline uint64_t resim_one(const uint64_t* wb, uint32_t l0,
+                          uint32_t l1) noexcept
+{
+  return (wb[l0 >> 1u] ^ complement_mask(l0)) &
+         (wb[l1 >> 1u] ^ complement_mask(l1));
+}
+
+// ---------------------------------------------------------------- scalar
+
+void and_words_scalar(uint64_t* out, const uint64_t* a, uint64_t ca,
+                      const uint64_t* b, uint64_t cb, std::size_t count)
+{
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = (a[i] ^ ca) & (b[i] ^ cb);
+  }
+}
+
+bool rows_equal_scalar(const uint64_t* a, const uint64_t* b, uint64_t flip,
+                       std::size_t count, uint64_t last_mask)
+{
+  const std::size_t full = count - 1u;
+  for (std::size_t i = 0; i < full; ++i) {
+    if ((a[i] ^ flip) != b[i]) {
+      return false;
+    }
+  }
+  return ((a[full] ^ flip) & last_mask) == (b[full] & last_mask);
+}
+
+void gather_keys_scalar(uint64_t* keys, const uint32_t* members,
+                        std::size_t count, const uint64_t* base,
+                        uint32_t stride, const uint8_t* phase,
+                        uint64_t word_mask)
+{
+  for (std::size_t i = 0; i < count; ++i) {
+    const uint32_t n = members[i];
+    const uint64_t flip = uint64_t{0} - static_cast<uint64_t>(phase[n]);
+    keys[i] = (base[static_cast<std::size_t>(n) * stride] ^ flip) & word_mask;
+  }
+}
+
+void resim_words_scalar(uint64_t* wb, const uint32_t* lit0,
+                        const uint32_t* lit1, uint32_t first, uint32_t size)
+{
+  for (uint32_t n = first; n < size; ++n) {
+    wb[n] = resim_one(wb, lit0[n], lit1[n]);
+  }
+}
+
+// ----------------------------------------------------------------- AVX2
+
+#if STPS_SIMD_X86
+
+__attribute__((target("avx2"))) void and_words_avx2(
+    uint64_t* out, const uint64_t* a, uint64_t ca, const uint64_t* b,
+    uint64_t cb, std::size_t count)
+{
+  const __m256i vca = _mm256_set1_epi64x(static_cast<long long>(ca));
+  const __m256i vcb = _mm256_set1_epi64x(static_cast<long long>(cb));
+  std::size_t i = 0;
+  for (; i + 4u <= count; i += 4u) {
+    const __m256i va = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)), vca);
+    const __m256i vb = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)), vcb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < count; ++i) {
+    out[i] = (a[i] ^ ca) & (b[i] ^ cb);
+  }
+}
+
+__attribute__((target("avx2"))) bool rows_equal_avx2(
+    const uint64_t* a, const uint64_t* b, uint64_t flip, std::size_t count,
+    uint64_t last_mask)
+{
+  const __m256i vflip = _mm256_set1_epi64x(static_cast<long long>(flip));
+  const std::size_t full = count - 1u;
+  std::size_t i = 0;
+  for (; i + 4u <= full; i += 4u) {
+    const __m256i va = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)), vflip);
+    const __m256i diff = _mm256_xor_si256(
+        va, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    if (!_mm256_testz_si256(diff, diff)) {
+      return false;
+    }
+  }
+  for (; i < full; ++i) {
+    if ((a[i] ^ flip) != b[i]) {
+      return false;
+    }
+  }
+  return ((a[full] ^ flip) & last_mask) == (b[full] & last_mask);
+}
+
+__attribute__((target("avx2"))) void gather_keys_avx2(
+    uint64_t* keys, const uint32_t* members, std::size_t count,
+    const uint64_t* base, uint32_t stride, const uint8_t* phase,
+    uint64_t word_mask)
+{
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(word_mask));
+  const __m128i vstride = _mm_set1_epi32(static_cast<int>(stride));
+  std::size_t i = 0;
+  for (; i + 4u <= count; i += 4u) {
+    const __m128i m =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(members + i));
+    const __m128i idx = _mm_mullo_epi32(m, vstride);
+    __m256i v = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(base), idx, 8);
+    // The phase bytes are themselves a gather (indexed by node id, not
+    // by i); four scalar byte loads feed the 0/1 → 0/~0 expansion.
+    const __m256i flips =
+        _mm256_set_epi64x(-static_cast<long long>(phase[members[i + 3u]]),
+                          -static_cast<long long>(phase[members[i + 2u]]),
+                          -static_cast<long long>(phase[members[i + 1u]]),
+                          -static_cast<long long>(phase[members[i + 0u]]));
+    v = _mm256_and_si256(_mm256_xor_si256(v, flips), vmask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(keys + i), v);
+  }
+  gather_keys_scalar(keys + i, members + i, count - i, base, stride, phase,
+                     word_mask);
+}
+
+__attribute__((target("avx2"))) void resim_words_avx2(
+    uint64_t* wb, const uint32_t* lit0, const uint32_t* lit1, uint32_t first,
+    uint32_t size, const uint64_t* safe4)
+{
+  const __m128i one32 = _mm_set1_epi32(1);
+  const __m256i zero = _mm256_setzero_si256();
+  uint32_t n = first;
+  for (; n + 4u <= size; n += 4u) {
+    const uint32_t block = (n - first) >> 2u;
+    if (((safe4[block >> 6u] >> (block & 63u)) & 1u) != 0u) {
+      const __m128i l0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(lit0 + n));
+      const __m128i l1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(lit1 + n));
+      const __m256i v0 = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(wb), _mm_srli_epi32(l0, 1), 8);
+      const __m256i v1 = _mm256_i32gather_epi64(
+          reinterpret_cast<const long long*>(wb), _mm_srli_epi32(l1, 1), 8);
+      const __m256i c0 = _mm256_sub_epi64(
+          zero, _mm256_cvtepu32_epi64(_mm_and_si128(l0, one32)));
+      const __m256i c1 = _mm256_sub_epi64(
+          zero, _mm256_cvtepu32_epi64(_mm_and_si128(l1, one32)));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(wb + n),
+          _mm256_and_si256(_mm256_xor_si256(v0, c0),
+                           _mm256_xor_si256(v1, c1)));
+    } else {
+      wb[n] = resim_one(wb, lit0[n], lit1[n]);
+      wb[n + 1u] = resim_one(wb, lit0[n + 1u], lit1[n + 1u]);
+      wb[n + 2u] = resim_one(wb, lit0[n + 2u], lit1[n + 2u]);
+      wb[n + 3u] = resim_one(wb, lit0[n + 3u], lit1[n + 3u]);
+    }
+  }
+  for (; n < size; ++n) {
+    wb[n] = resim_one(wb, lit0[n], lit1[n]);
+  }
+}
+
+#endif // STPS_SIMD_X86
+
+} // namespace
+
+level detected_level() noexcept
+{
+  static const level cached = detect();
+  return cached;
+}
+
+level active_level() noexcept
+{
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  return forced >= 0 ? static_cast<level>(forced) : detected_level();
+}
+
+void force_level(level l)
+{
+  if (l == level::avx2 && detected_level() != level::avx2) {
+    throw std::invalid_argument{"simd::force_level: avx2 not supported"};
+  }
+  g_forced.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+void reset_level() noexcept
+{
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+const char* level_name(level l) noexcept
+{
+  return l == level::avx2 ? "avx2" : "scalar";
+}
+
+void and_words(uint64_t* out, const uint64_t* a, uint64_t ca,
+               const uint64_t* b, uint64_t cb, std::size_t count)
+{
+#if STPS_SIMD_X86
+  if (active_level() == level::avx2) {
+    and_words_avx2(out, a, ca, b, cb, count);
+    return;
+  }
+#endif
+  and_words_scalar(out, a, ca, b, cb, count);
+}
+
+bool rows_equal_normalized(const uint64_t* a, const uint64_t* b,
+                           uint64_t flip, std::size_t count,
+                           uint64_t last_mask)
+{
+#if STPS_SIMD_X86
+  if (active_level() == level::avx2) {
+    return rows_equal_avx2(a, b, flip, count, last_mask);
+  }
+#endif
+  return rows_equal_scalar(a, b, flip, count, last_mask);
+}
+
+void gather_normalized_keys(uint64_t* keys, const uint32_t* members,
+                            std::size_t count, const uint64_t* base,
+                            uint32_t stride, const uint8_t* phase,
+                            uint64_t word_mask)
+{
+#if STPS_SIMD_X86
+  if (active_level() == level::avx2) {
+    gather_keys_avx2(keys, members, count, base, stride, phase, word_mask);
+    return;
+  }
+#endif
+  gather_keys_scalar(keys, members, count, base, stride, phase, word_mask);
+}
+
+void resim_words(uint64_t* wb, const uint32_t* lit0, const uint32_t* lit1,
+                 uint32_t first, uint32_t size, const uint64_t* safe4)
+{
+#if STPS_SIMD_X86
+  if (active_level() == level::avx2) {
+    resim_words_avx2(wb, lit0, lit1, first, size, safe4);
+    return;
+  }
+#endif
+  (void)safe4;
+  resim_words_scalar(wb, lit0, lit1, first, size);
+}
+
+} // namespace stps::sim::simd

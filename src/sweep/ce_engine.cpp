@@ -97,9 +97,12 @@ public:
              const sim::pattern_set& /*patterns*/) override
   {
     // The network reference must outlive the engine — the same contract
-    // ce_simulator's snapshot relies on.
+    // ce_simulator's snapshot relies on.  The fanin-literal plan is a
+    // snapshot too: substitutions rewire fanins to function-identical
+    // signals, so plan-driven words stay byte-identical.
     aig_ = &aig;
     rsig_.reset(aig.size(), 0u);
+    plan_ = sim::make_resim_plan(aig);
   }
 
   void add_ce(const sim::pattern_set& patterns,
@@ -112,7 +115,7 @@ public:
     if (rsig_.num_words() < want) {
       rsig_.append_word();
     }
-    sim::resimulate_aig_all_last_word(*aig_, patterns, rsig_);
+    sim::resimulate_aig_all_last_word(*aig_, patterns, rsig_, plan_);
   }
 
   uint64_t node_word(const net::aig_network& aig, net::node n,
@@ -141,6 +144,7 @@ public:
 private:
   const net::aig_network* aig_ = nullptr;
   sim::signature_store rsig_;
+  sim::resim_plan plan_;
 };
 
 } // namespace

@@ -1,5 +1,7 @@
 #include "sweep/equiv_classes.hpp"
 
+#include "sim/simd.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -134,7 +136,7 @@ void equiv_classes::build(const net::aig_network& aig,
   classes_.clear();
   live_classes_ = 0;
   class_id_.assign(aig.size(), no_class);
-  phase_.assign(aig.size(), false);
+  phase_.assign(aig.size(), 0u);
   if (sig.num_words() == 0u) {
     return; // no simulation information, no candidates
   }
@@ -150,11 +152,21 @@ void equiv_classes::build(const net::aig_network& aig,
   // Group by hash of the normalized signature via the dense scratch
   // table; a hash hit is verified word-by-word against the group's
   // representative, and a mismatch keeps probing, so equal-hash but
-  // different-signature nodes end up in distinct groups.
+  // different-signature nodes end up in distinct groups.  At build time
+  // the store is freshly simulated — node-major, no tail words, nothing
+  // trimmed — so the compare runs the vectorized whole-row kernel over
+  // contiguous rows; the word-at-a-time path stays as the fallback for
+  // stores with tails or trims.
+  const bool flat =
+      sig.num_words() == sig.base_words() && sig.words_trimmed() == 0u;
   const auto equal_normalized = [&](net::node a, net::node b) {
     const uint64_t flip =
         (phase_[a] != phase_[b]) ? ~uint64_t{0} : uint64_t{0};
     const std::size_t words = sig.num_words();
+    if (flat) {
+      return sim::simd::rows_equal_normalized(
+          sig.row(b).data(), sig.row(a).data(), flip, words, last_word_mask);
+    }
     for (std::size_t i = 0; i < words; ++i) {
       const uint64_t mask =
           i + 1u == words ? last_word_mask : ~uint64_t{0};
@@ -250,14 +262,30 @@ std::size_t equiv_classes::refine_class_with_word(
     return 0;
   }
   // Partition members by their normalized word value — allocation-free
-  // through the dense scratch core.
+  // through the dense scratch core.  When the word has backing storage
+  // the keys come from the vectorized strided gather; absent words
+  // (beyond the store, trimmed) read as zero and take the scalar loop.
   const bool have_word = word < sig.num_words();
   keys_.resize(count);
   group_of_.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const net::node n = members[i];
-    const uint64_t w = have_word ? sig.word(n, word) : 0u;
-    keys_[i] = (w ^ (phase_[n] ? ~uint64_t{0} : 0u)) & word_mask;
+  std::size_t stride = 0;
+  const uint64_t* block =
+      have_word ? sig.word_block(word, &stride) : nullptr;
+  if (block != nullptr &&
+      stride * (sig.size() > 0u ? sig.size() - 1u : 0u) <
+          (std::size_t{1} << 31u)) {
+    sim::simd::gather_normalized_keys(keys_.data(), members.data(), count,
+                                      block, static_cast<uint32_t>(stride),
+                                      phase_.data(), word_mask);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      const net::node n = members[i];
+      const uint64_t w =
+          block != nullptr
+              ? block[static_cast<std::size_t>(n) * stride]
+              : (have_word ? sig.word(n, word) : 0u);
+      keys_[i] = (w ^ (phase_[n] ? ~uint64_t{0} : 0u)) & word_mask;
+    }
   }
   const uint32_t groups = partition_by_scratch_keys(count);
   if (groups == 1u) {
@@ -297,6 +325,19 @@ void equiv_classes::remove_member(net::node n)
                 members.end());
   class_id_[n] = no_class;
   dissolve_if_singleton(c);
+}
+
+void equiv_classes::dissolve_class(uint32_t c)
+{
+  auto& members = classes_.at(c);
+  if (members.empty()) {
+    return;
+  }
+  for (const net::node n : members) {
+    class_id_[n] = no_class;
+  }
+  std::vector<net::node>{}.swap(members); // release the storage too
+  --live_classes_;
 }
 
 void equiv_classes::dissolve_if_singleton(uint32_t c)

@@ -71,7 +71,7 @@ public:
     return n < class_id_.size() ? class_id_[n] : no_class;
   }
   /// Phase of a member: first signature bit at build time.
-  bool phase(net::node n) const { return phase_[n]; }
+  bool phase(net::node n) const { return phase_[n] != 0u; }
   /// Conjectured complement relation between two members of one class.
   bool complemented(net::node a, net::node b) const
   {
@@ -88,6 +88,12 @@ public:
   /// Removes a node from its class (after merge or don't-touch); classes
   /// shrinking to one member are dissolved.
   void remove_member(net::node n);
+
+  /// Dissolves class \p c wholesale: every member becomes classless and
+  /// the class goes dead (its id is not reused).  No-op on an already
+  /// empty id.  Shard workers use this to drop the classes owned by
+  /// other shards from their private copy.
+  void dissolve_class(uint32_t c);
 
   /// Sum of members over all live classes.
   std::size_t num_candidate_nodes() const;
@@ -112,7 +118,9 @@ private:
 
   std::vector<std::vector<net::node>> classes_;
   std::vector<uint32_t> class_id_;
-  std::vector<bool> phase_;
+  /// Member phase as 0/1 bytes (not vector<bool>): the refinement key
+  /// gather kernel reads it per node id.
+  std::vector<uint8_t> phase_;
   std::size_t live_classes_ = 0;
 
   // Dense partition scratch: one open-addressed table (key, group,

@@ -22,8 +22,20 @@
 /// on completed UNSAT proofs, so stopping between queries can never
 /// leave an unproven substitution behind.
 ///
-/// **Determinism.**  `request_stop()` is async-signal-safe (a relaxed
-/// atomic store), so a SIGINT handler may call it directly.  For tests
+/// **Concurrency.**  One governor is shared by every worker of a
+/// parallel sweep: each shard's solver polls `should_stop` and pays
+/// into the global conflict pool concurrently.  The stop token uses
+/// release/acquire ordering — a worker that observes the flag also
+/// observes everything the requester wrote before raising it — while
+/// the counters stay relaxed: they are monotone sums whose exact
+/// interleaving only affects *when* a budget trips, never memory
+/// safety, and no other data is published through them.  (A
+/// conflict-pool abort can therefore land on a different query across
+/// runs at threads > 1; the determinism pins hold limits off.)
+///
+/// **Determinism.**  `request_stop()` is async-signal-safe (a
+/// lock-free atomic store), so a SIGINT handler may call it directly.
+/// For tests
 /// the governor offers a *virtual clock*: `virtual_clock = true` makes
 /// `elapsed_seconds()` count `virtual_seconds_per_query` per query tick
 /// (plus explicit `advance_virtual` calls) instead of reading the real
@@ -70,14 +82,16 @@ public:
   }
 
   /// Requests cooperative cancellation.  Async-signal-safe and callable
-  /// from any thread; the job winds down at its next poll.
+  /// from any thread; every worker of the job winds down at its next
+  /// poll.  Release store: whatever the requester wrote before stopping
+  /// is visible to any worker that acquires the flag.
   void request_stop() noexcept
   {
-    stop_.store(true, std::memory_order_relaxed);
+    stop_.store(true, std::memory_order_release);
   }
   bool stop_requested() const noexcept
   {
-    return stop_.load(std::memory_order_relaxed);
+    return stop_.load(std::memory_order_acquire);
   }
 
   /// Advances the virtual clock (virtual_clock mode only; no-op

@@ -144,6 +144,32 @@ struct stp_sweep_params
 
   int64_t conflict_budget = -1;  ///< equivalence queries; -1 = unlimited
 
+  /// \name Parallel SAT phase (class-sharded)
+  /// \{
+  /// Worker threads for the SAT phase.  The candidate classes are
+  /// partitioned into `effective_sat_shards()` shards; each shard is
+  /// swept against its own thread-local `sat::cnf_manager` (and private
+  /// copies of the signature/pattern state) over the *frozen* input
+  /// AIG, recording proven merges instead of applying them.  Proven
+  /// merges are then committed on the calling thread in deterministic
+  /// canonical order (ascending node id).  The sweep *trajectory* is a
+  /// pure function of the shard count — running 4 shards on 1 thread or
+  /// on 4 threads is byte-identical in every counter and in the result
+  /// network.  With ≤ 1 effective shard the single-thread in-place path
+  /// runs unchanged.
+  uint32_t threads = 1;
+  /// Shard count of the parallel phase; 0 = one shard per thread.
+  /// Fixing `sat_shards` while varying `threads` reproduces identical
+  /// sweeps at any parallelism (the determinism pin).
+  uint32_t sat_shards = 0;
+
+  uint32_t effective_sat_shards() const noexcept
+  {
+    const uint32_t s = sat_shards == 0u ? threads : sat_shards;
+    return s == 0u ? 1u : s;
+  }
+  /// \}
+
   /// \name Budgeted, interruptible sweeping
   /// \{
   /// Resource governor of the whole sweep job (non-owning; null =
@@ -175,12 +201,13 @@ struct stp_sweep_params
   /// is cheap since the union-cone pass), so the support limit grows
   /// with the gate count — one extra leaf per quadrupling starting at
   /// `window_scale_gates` gates, capped at `window_max_support_scaled`
-  /// (30k gates → 16, 120k → 17, 480k → 18 with the defaults).  Window
-  /// resolution is exact, so the limit changes which merges avoid SAT,
-  /// never the result.  `window_scale_gates = 0` disables scaling (the
-  /// flat ablation baseline).
+  /// (30k gates → 16, 120k → 17, 480k → 18, 1.92M → 19 with the
+  /// defaults; the 19-leaf tier exists for the --scale 4 workloads).
+  /// Window resolution is exact, so the limit changes which merges
+  /// avoid SAT, never the result.  `window_scale_gates = 0` disables
+  /// scaling (the flat ablation baseline).
   uint32_t window_scale_gates = 30'000;
-  uint32_t window_max_support_scaled = 18;
+  uint32_t window_max_support_scaled = 19;
   uint32_t collapse_limit = 8;   ///< tree-cut leaf bound for CE windows
 
   /// Per-round simulation budget scaling: tiny instances stop

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace stps::sweep {
 
@@ -131,6 +132,16 @@ struct sweep_stats
   /// Pattern-set ring: CE words still backed / recycled into the ring.
   uint64_t pattern_words_live = 0;
   uint64_t pattern_words_recycled = 0;
+  /// \}
+
+  /// \name Parallel SAT phase (stp_sweep_params::threads / sat_shards)
+  /// \{
+  uint32_t threads = 1;      ///< requested worker threads
+  uint32_t sat_shards = 1;   ///< effective shard count of the SAT phase
+  uint32_t workers_used = 1; ///< threads that actually ran shards
+  /// Per-worker SAT time (size = workers_used; worker w summed over the
+  /// shards it ran).  Single-thread sweeps report {sat_seconds}.
+  std::vector<double> worker_sat_seconds;
   /// \}
 
   double sim_seconds = 0.0;   ///< "Simulation" (initial + CE)

@@ -1,0 +1,91 @@
+#include "sweep/worker_pool.hpp"
+
+namespace stps::sweep {
+
+worker_pool::worker_pool(unsigned workers) : count_{workers}
+{
+  threads_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+worker_pool::~worker_pool()
+{
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void worker_pool::worker_main(unsigned w)
+{
+  const unsigned count = count_;
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock{mutex_};
+  for (;;) {
+    cv_work_.wait(lock,
+                  [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) {
+      return;
+    }
+    seen = generation_;
+    const std::function<void(std::size_t)>* job = job_;
+    const std::size_t jobs = num_jobs_;
+    lock.unlock();
+
+    std::exception_ptr error;
+    std::size_t error_job = 0;
+    for (std::size_t j = w; j < jobs; j += count) {
+      try {
+        (*job)(j);
+      } catch (...) {
+        error = std::current_exception();
+        error_job = j;
+        break; // this worker's later jobs are abandoned
+      }
+    }
+
+    lock.lock();
+    if (error != nullptr &&
+        (first_error_ == nullptr || error_job < first_error_job_)) {
+      first_error_ = error;
+      first_error_job_ = error_job;
+    }
+    if (++workers_done_ == count_) {
+      cv_done_.notify_one();
+    }
+  }
+}
+
+void worker_pool::run(std::size_t jobs,
+                      const std::function<void(std::size_t)>& job)
+{
+  if (count_ == 0u) {
+    for (std::size_t j = 0; j < jobs; ++j) {
+      job(j);
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock{mutex_};
+  job_ = &job;
+  num_jobs_ = jobs;
+  workers_done_ = 0;
+  first_error_ = nullptr;
+  first_error_job_ = 0;
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return workers_done_ == count_; });
+  const std::exception_ptr error = first_error_;
+  job_ = nullptr;
+  lock.unlock();
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+} // namespace stps::sweep

@@ -1,0 +1,69 @@
+/// \file worker_pool.hpp
+/// \brief Fixed thread pool with a deterministic job→worker mapping.
+///
+/// The parallel SAT phase partitions candidate equivalence classes into
+/// shards and sweeps each shard with fully isolated state, so shard
+/// trajectories are pure functions of their inputs — but the *mapping*
+/// of shards onto OS threads must still be deterministic for per-worker
+/// accounting (`sweep_stats::worker_sat_seconds`) to be meaningful
+/// across runs.  This pool pins it statically: `run(jobs, job)` makes
+/// worker `w` execute jobs `w, w + size(), w + 2·size(), …` in
+/// ascending order, with no work stealing.  Workers are parked on a
+/// condition variable between runs (a sweep issues one `run` per
+/// parallel phase; pool reuse is for callers sweeping many networks).
+///
+/// Exceptions thrown by a job are caught per worker, the one from the
+/// lowest job index wins deterministically, and `run` rethrows it on
+/// the calling thread after every worker finished its batch.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stps::sweep {
+
+class worker_pool
+{
+public:
+  /// Spawns \p workers parked threads.  0 workers is allowed: `run`
+  /// then executes every job inline on the calling thread (the
+  /// degenerate serial pool, used when callers clamp `threads - 1`).
+  explicit worker_pool(unsigned workers);
+  ~worker_pool();
+
+  worker_pool(const worker_pool&) = delete;
+  worker_pool& operator=(const worker_pool&) = delete;
+
+  unsigned size() const noexcept { return count_; }
+
+  /// Executes job(j) for every j in [0, jobs): worker w runs jobs
+  /// w, w + size(), … in ascending order; blocks until all jobs
+  /// finished, then rethrows the lowest-index job exception if any.
+  /// Not reentrant (one `run` at a time).
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& job);
+
+private:
+  void worker_main(unsigned w);
+
+  /// Fixed before any thread spawns; workers read it lock-free.
+  unsigned count_ = 0;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t num_jobs_ = 0;
+  uint64_t generation_ = 0;
+  unsigned workers_done_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+  std::size_t first_error_job_ = 0;
+};
+
+} // namespace stps::sweep

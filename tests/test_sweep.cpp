@@ -183,7 +183,9 @@ TEST(StpSweep, EffectiveWindowSupportScalesWithGateCount)
   EXPECT_EQ(params.effective_window_support(30'000u), 16u);
   EXPECT_EQ(params.effective_window_support(120'000u), 17u);
   EXPECT_EQ(params.effective_window_support(480'000u), 18u);
-  EXPECT_EQ(params.effective_window_support(1u << 30u), 18u); // capped
+  EXPECT_EQ(params.effective_window_support(1'919'999u), 18u);
+  EXPECT_EQ(params.effective_window_support(1'920'000u), 19u); // scale-4 tier
+  EXPECT_EQ(params.effective_window_support(1u << 30u), 19u);  // capped
   params.window_scale_gates = 0u; // scaling disabled
   EXPECT_EQ(params.effective_window_support(1u << 30u), 15u);
   params.window_scale_gates = 30'000u;
