@@ -176,6 +176,21 @@ void write_engine_json(std::FILE* f, const char* key,
                static_cast<unsigned long long>(s.sat_conflicts),
                static_cast<unsigned long long>(s.sat_decisions),
                static_cast<unsigned long long>(s.sat_restarts));
+  // Clause-database policy counters (reduce_db + binary graph +
+  // between-query inprocessing), accumulated across garbage epochs and
+  // shards like the search counters above.  Emitted for both engines —
+  // the solver policies are engine-independent.
+  std::fprintf(f,
+               "\"sat_learnts_reduced\": %llu, \"sat_lbd_sum\": %llu, "
+               "\"sat_binary_clauses\": %llu, \"sat_lits_collapsed\": %llu, "
+               "\"sat_clauses_subsumed\": %llu, "
+               "\"sat_inprocess_seconds\": %.6f, ",
+               static_cast<unsigned long long>(s.sat_learnts_reduced),
+               static_cast<unsigned long long>(s.sat_lbd_sum),
+               static_cast<unsigned long long>(s.sat_binary_clauses),
+               static_cast<unsigned long long>(s.sat_lits_collapsed),
+               static_cast<unsigned long long>(s.sat_clauses_subsumed),
+               s.sat_inprocess_seconds);
   if (s.has_ce_engine) {
     std::fprintf(f, "\"phase_seed_words\": %llu, ",
                  static_cast<unsigned long long>(s.phase_seed_words));
@@ -304,6 +319,8 @@ int main(int argc, char** argv)
   int64_t conflict_budget = -1;        // per query; -1 = unlimited
   uint32_t threads = 1;                // STP SAT-phase worker threads
   uint32_t shards = 0;                 // 0 = one shard per thread
+  bool sat_reduce = true;              // solver learnt-clause reduction
+  bool sat_inprocess = true;           // between-query inprocessing
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablation") == 0) {
       ablation = true;
@@ -329,6 +346,12 @@ int main(int argc, char** argv)
     }
     if (std::strcmp(argv[i], "--shards") == 0) {
       shards = static_cast<uint32_t>(std::stoul(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--sat-reduce") == 0) {
+      sat_reduce = std::stoul(argv[i + 1]) != 0u;
+    }
+    if (std::strcmp(argv[i], "--sat-inprocess") == 0) {
+      sat_inprocess = std::stoul(argv[i + 1]) != 0u;
     }
     if (std::strcmp(argv[i], "--json") == 0) {
       json_path = argv[i + 1];
@@ -417,6 +440,8 @@ int main(int argc, char** argv)
     params.conflict_budget = conflict_budget;
     params.threads = threads;
     params.sat_shards = shards;
+    params.sat_reduce = sat_reduce;
+    params.sat_inprocess = sat_inprocess;
     params.governor = &stp_gov;
     sweep::sweep_stats ss;
     {
@@ -460,6 +485,8 @@ int main(int argc, char** argv)
       off.use_cone_scoped_decisions = false;
       off.window_scale_gates = 0u; // flat window support
       off.guided.round2_group_by_signature = false;
+      off.sat_reduce = false;      // epoch-only learnt retention
+      off.sat_inprocess = false;   // no between-query simplification
       off.ce_engine = ss.ce_engine_used == sweep::ce_engine_kind::collapsed
                           ? sweep::ce_engine_kind::resim
                           : sweep::ce_engine_kind::collapsed;

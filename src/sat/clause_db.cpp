@@ -1,0 +1,57 @@
+#include "sat/clause_db.hpp"
+
+#include <algorithm>
+
+namespace stps::sat {
+
+cref clause_db::alloc(std::span<const lit> lits, bool learnt, uint32_t lbd)
+{
+  const cref cr = static_cast<cref>(mem_.size());
+  mem_.resize(mem_.size() + header_words + lits.size());
+  clause& c = deref(cr);
+  c.header = (static_cast<uint32_t>(lits.size()) << clause::size_shift) |
+             (learnt ? clause::flag_learnt : 0u);
+  c.set_lbd(lbd);
+  c.set_activity(0.0f);
+  std::copy(lits.begin(), lits.end(), c.begin());
+  return cr;
+}
+
+void clause_db::free_clause(cref cr) noexcept
+{
+  clause& c = deref(cr);
+  assert(!c.removed());
+  c.header |= clause::flag_removed;
+  wasted_ += header_words + c.size();
+}
+
+void clause_db::begin_gc()
+{
+  to_.clear();
+  to_.reserve(mem_.size() - wasted_);
+}
+
+void clause_db::reloc(cref& cr)
+{
+  clause& c = deref(cr);
+  assert(!c.removed());
+  if (c.relocated()) {
+    cr = c.lbd_or_forward;
+    return;
+  }
+  const cref moved = static_cast<cref>(to_.size());
+  to_.insert(to_.end(), mem_.begin() + cr,
+             mem_.begin() + cr + header_words + c.size());
+  c.header |= clause::flag_relocated;
+  c.lbd_or_forward = moved;
+  cr = moved;
+}
+
+void clause_db::end_gc()
+{
+  mem_.swap(to_);
+  to_.clear();
+  wasted_ = 0;
+}
+
+} // namespace stps::sat

@@ -61,4 +61,27 @@ void write_dimacs(std::ostream& os, uint32_t num_vars,
   }
 }
 
+void export_dimacs(std::ostream& os, const solver& s,
+                   std::span<const lit> assumptions, bool include_learnts)
+{
+  std::vector<std::vector<lit>> clauses;
+  s.copy_clauses(clauses, include_learnts);
+  for (const lit a : assumptions) {
+    clauses.push_back({a});
+  }
+  if (!assumptions.empty()) {
+    os << "c last " << assumptions.size()
+       << " unit clause(s) are query assumptions\n";
+  }
+  write_dimacs(os, s.num_vars(), clauses);
+}
+
+result replay_dimacs(std::istream& is, int64_t conflict_budget,
+                     solver_options opt)
+{
+  solver s{opt};
+  load_dimacs(is, s);
+  return s.solve({}, conflict_budget);
+}
+
 } // namespace stps::sat

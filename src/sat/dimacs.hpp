@@ -1,12 +1,20 @@
 /// \file dimacs.hpp
-/// \brief DIMACS CNF import/export for the CDCL solver.
+/// \brief DIMACS CNF import/export and query replay for the CDCL solver.
 ///
 /// Lets the solver exchange problems with external tools (minisat,
 /// kissat) and lets tests replay standard instances.  `load_dimacs`
 /// creates solver variables on demand and returns the clause count.
+///
+/// `export_dimacs` snapshots a live solver's clause database — plus the
+/// assumptions of the query of interest as trailing unit clauses — so
+/// any cone query the sweep ever poses can be written out, replayed
+/// standalone with `replay_dimacs`, and minimized with external
+/// delta-debugging tools.  Assumption units are commented in the header
+/// so a reader can tell query context from problem clauses.
 #pragma once
 
 #include "sat/solver.hpp"
+#include "sat/types.hpp"
 
 #include <iosfwd>
 #include <vector>
@@ -21,5 +29,21 @@ std::size_t load_dimacs(std::istream& is, solver& s);
 /// Writes \p clauses (solver literal encoding) as DIMACS CNF.
 void write_dimacs(std::ostream& os, uint32_t num_vars,
                   const std::vector<std::vector<lit>>& clauses);
+
+/// Writes \p s's live clause database (solver::copy_clauses order) with
+/// \p assumptions appended as unit clauses, so the query "solve(s,
+/// assumptions)" becomes a standalone DIMACS instance.  Must be called
+/// at decision level 0.  Learnt clauses are redundant and excluded by
+/// default; including them reproduces the exact deduction state.
+void export_dimacs(std::ostream& os, const solver& s,
+                   std::span<const lit> assumptions = {},
+                   bool include_learnts = false);
+
+/// Loads a DIMACS instance (e.g. one written by `export_dimacs`) into a
+/// fresh solver configured by \p opt and solves it under \p
+/// conflict_budget.  The verdict of an exported query replays this way
+/// regardless of the clause-database policy that produced the export.
+result replay_dimacs(std::istream& is, int64_t conflict_budget = -1,
+                     solver_options opt = {});
 
 } // namespace stps::sat

@@ -1,6 +1,9 @@
 #include "sat/encoder.hpp"
 
+#include "sat/dimacs.hpp"
+
 #include <array>
+#include <ostream>
 #include <stdexcept>
 
 namespace stps::sat {
@@ -232,6 +235,26 @@ std::vector<bool> aig_encoder::model_inputs() const
     }
   }
   return inputs;
+}
+
+void aig_encoder::export_equivalence_query(std::ostream& os, net::signal a,
+                                           net::signal b, bool complement)
+{
+  const lit la = literal(a);
+  const lit lb = literal(b);
+  // Virtual miter variable: one past the solver's range, so the export
+  // allocates nothing and retracts nothing.
+  const lit t{solver_.num_vars(), false};
+  std::vector<std::vector<lit>> clauses;
+  solver_.copy_clauses(clauses, /*include_learnts=*/false);
+  clauses.push_back({~t, la, lb});
+  clauses.push_back({~t, ~la, ~lb});
+  clauses.push_back({t, ~la, lb});
+  clauses.push_back({t, la, ~lb});
+  clauses.push_back({complement ? ~t : t});
+  os << "c equivalence query: unsat = proven equivalent\n"
+     << "c last clause is the query assumption\n";
+  write_dimacs(os, solver_.num_vars() + 1u, clauses);
 }
 
 std::optional<std::vector<bool>> aig_encoder::find_assignment(

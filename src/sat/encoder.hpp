@@ -12,6 +12,7 @@
 #include "sat/solver.hpp"
 
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -114,6 +115,17 @@ public:
 
   /// PI assignment of the last `sat` answer (index = PI position).
   std::vector<bool> model_inputs() const;
+
+  /// Writes the equivalence query `a == b` (or `a == !b`) as a
+  /// standalone DIMACS instance: the live clause database, the four XOR
+  /// defining clauses over a *virtual* miter variable (one past the
+  /// solver's — no solver state is touched beyond encoding the two
+  /// cones), and the assumption as a unit clause.  The instance is
+  /// unsatisfiable iff the query would answer `unsat`; it replays with
+  /// `replay_dimacs` (sat/dimacs.hpp) and can be handed to external
+  /// solvers or delta-debugging minimizers as-is.
+  void export_equivalence_query(std::ostream& os, net::signal a,
+                                net::signal b, bool complement);
 
   /// Asks for an input assignment satisfying `f == value` — used by the
   /// SAT-guided pattern generator (§IV-A).  Returns nullopt when

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <new>
 #include <stdexcept>
 
 namespace stps::sat {
@@ -30,35 +29,13 @@ uint64_t luby(uint64_t i)
 
 } // namespace
 
-solver::solver() = default;
-
-solver::~solver()
+solver::solver(solver_options opt)
+    : opt_{opt}, reduce_limit_{static_cast<double>(opt.reduce_base)}
 {
-  for (clause* c : clauses_) {
-    clause::destroy(c);
-  }
-  for (clause* c : learnts_) {
-    clause::destroy(c);
-  }
-  for (clause* c : removables_) {
-    clause::destroy(c);
-  }
+  lbd_mark_.push_back(0u); // level 0 exists before the first variable
 }
 
-solver::clause* solver::clause::make(std::span<const lit> lits, bool learnt)
-{
-  void* mem = ::operator new(sizeof(clause) + lits.size() * sizeof(lit));
-  auto* c = new (mem) clause{};
-  c->size = static_cast<uint32_t>(lits.size());
-  c->learnt = learnt;
-  std::copy(lits.begin(), lits.end(), c->begin());
-  return c;
-}
-
-void solver::clause::destroy(clause* c)
-{
-  ::operator delete(c);
-}
+solver::~solver() = default;
 
 var solver::new_var()
 {
@@ -66,10 +43,11 @@ var solver::new_var()
   assigns_.push_back(lbool::l_undef);
   polarity_.push_back(true); // default phase: negative (MiniSat convention)
   level_.push_back(0u);
-  reason_.push_back(nullptr);
+  reason_.push_back(reason_none);
   activity_.push_back(0.0);
   heap_pos_.push_back(0u);
   seen_.push_back(false);
+  lbd_mark_.push_back(0u);
   watches_.emplace_back();
   watches_.emplace_back();
   // Under a decision restriction new variables start unlisted; the next
@@ -151,13 +129,18 @@ bool solver::add_clause(std::span<const lit> lits)
     return false;
   }
   if (out.size() == 1u) {
-    enqueue(out[0], nullptr);
-    ok_ = propagate() == nullptr;
+    enqueue(out[0], reason_none);
+    ok_ = !propagate().valid();
     return ok_;
   }
-  clause* cl = clause::make(out, false);
-  clauses_.push_back(cl);
-  attach(cl);
+  if (out.size() == 2u && opt_.implicit_binaries) {
+    bin_.add(out[0], out[1], false);
+    ++stats_.binary_clauses;
+    return true;
+  }
+  const cref cr = db_.alloc(out, false, 0u);
+  clauses_.push_back(cr);
+  attach(cr);
   return true;
 }
 
@@ -180,21 +163,35 @@ solver::clause_handle solver::add_removable_clause(std::span<const lit> lits)
   if (out.size() == 1u) {
     // Unit facts are permanent; the caller retires any auxiliary
     // variable this pins (see aig_encoder::prove_equivalent).
-    enqueue(out[0], nullptr);
-    ok_ = propagate() == nullptr;
+    enqueue(out[0], reason_none);
+    ok_ = !propagate().valid();
     return nullptr;
   }
-  clause* cl = clause::make(out, false);
-  removables_.push_back(cl);
-  attach(cl);
-  return cl;
+  // Removables always stay watched arena clauses — never the binary
+  // graph, where a later retraction could not undo an equivalence the
+  // inprocessor already collapsed on.
+  const cref cr = db_.alloc(out, false, 0u);
+  attach(cr);
+  uint32_t slot;
+  if (!removable_free_.empty()) {
+    slot = removable_free_.back();
+    removable_free_.pop_back();
+    removable_slots_[slot] = cr;
+  } else {
+    slot = static_cast<uint32_t>(removable_slots_.size());
+    removable_slots_.push_back(cr);
+  }
+  ++num_removables_;
+  return reinterpret_cast<clause_handle>(
+      static_cast<std::uintptr_t>(slot) + 1u);
 }
 
-void solver::unhook_reasons(clause* c)
+void solver::unhook_reasons(cref cr)
 {
-  for (const lit l : *c) {
-    if (reason_[l.variable()] == c) {
-      reason_[l.variable()] = nullptr;
+  const clause_db::clause& c = db_.deref(cr);
+  for (const lit l : c) {
+    if (reason_[l.variable()] == cr) {
+      reason_[l.variable()] = reason_none;
     }
   }
 }
@@ -202,28 +199,48 @@ void solver::unhook_reasons(clause* c)
 void solver::purge_learnts_with(var v)
 {
   assert(decision_level() == 0u);
-  // Clauses mentioning v can only have been learnt since the last purge
-  // (earlier ones were purged then), i.e. during the last solve() — scan
-  // only that suffix unless reduce_db reshuffled the whole list.
-  std::size_t j = db_reduced_in_solve_ ? 0u : learnts_at_solve_;
-  for (std::size_t i = j; i < learnts_.size(); ++i) {
-    clause* c = learnts_[i];
+  bool freed_arena = false;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < learnt_log_.size(); ++i) {
+    const learnt_record rec = learnt_log_[i];
+    if (rec.cr == cref_undef) {
+      // Implicit learnt binary; the graph may already have dropped it
+      // (an earlier purge or an inprocessing rebuild), hence no assert.
+      if (rec.a.variable() == v || rec.b.variable() == v) {
+        bin_.remove(rec.a, rec.b, true);
+        continue;
+      }
+      learnt_log_[j++] = rec;
+      continue;
+    }
+    const clause_db::clause& c = db_.deref(rec.cr);
+    if (c.removed()) {
+      continue; // reduce_db already deleted it
+    }
     bool mentions = false;
-    for (const lit l : *c) {
+    for (const lit l : c) {
       if (l.variable() == v) {
         mentions = true;
         break;
       }
     }
     if (!mentions) {
-      learnts_[j++] = c;
+      learnt_log_[j++] = rec;
       continue;
     }
-    unhook_reasons(c); // level-0 reasons are never consulted
-    detach(c);
-    clause::destroy(c);
+    unhook_reasons(rec.cr); // level-0 reasons are never consulted
+    detach(rec.cr);
+    db_.free_clause(rec.cr);
+    freed_arena = true;
   }
-  learnts_.resize(j);
+  learnt_log_.resize(j);
+  if (freed_arena) {
+    learnts_.erase(
+        std::remove_if(learnts_.begin(), learnts_.end(),
+                       [&](cref cr) { return db_.deref(cr).removed(); }),
+        learnts_.end());
+  }
+  check_garbage();
 }
 
 void solver::remove_clause(clause_handle h)
@@ -232,39 +249,45 @@ void solver::remove_clause(clause_handle h)
     return;
   }
   assert(decision_level() == 0u);
-  auto* c = static_cast<clause*>(h);
+  const std::size_t slot = reinterpret_cast<std::uintptr_t>(h) - 1u;
+  assert(slot < removable_slots_.size());
+  const cref cr = removable_slots_[slot];
+  assert(cr != cref_undef);
   // The clause may be the level-0 reason of its implied literal; reasons
   // of level-0 facts are never consulted again, so just unhook the
-  // dangling pointer.
-  unhook_reasons(c);
-  detach(c);
-  const auto it = std::find(removables_.begin(), removables_.end(), c);
-  assert(it != removables_.end());
-  removables_.erase(it);
-  clause::destroy(c);
+  // dangling reference.
+  unhook_reasons(cr);
+  detach(cr);
+  db_.free_clause(cr);
+  removable_slots_[slot] = cref_undef;
+  removable_free_.push_back(static_cast<uint32_t>(slot));
+  --num_removables_;
+  check_garbage();
 }
 
-void solver::attach(clause* c)
+void solver::attach(cref cr)
 {
-  assert(c->size >= 2u);
-  const uint32_t binary = c->size == 2u ? 1u : 0u;
-  watches_[(~(*c)[0]).x].push_back(watcher{c, (*c)[1], binary});
-  watches_[(~(*c)[1]).x].push_back(watcher{c, (*c)[0], binary});
+  const clause_db::clause& c = db_.deref(cr);
+  assert(c.size() >= 2u);
+  const uint32_t binary = c.size() == 2u ? 1u : 0u;
+  watches_[(~c[0]).x].push_back(watcher{cr, c[1], binary});
+  watches_[(~c[1]).x].push_back(watcher{cr, c[0], binary});
 }
 
-void solver::detach(clause* c)
+void solver::detach(cref cr)
 {
-  for (const lit w : {(*c)[0], (*c)[1]}) {
+  const clause_db::clause& c = db_.deref(cr);
+  for (const lit w : {c[0], c[1]}) {
     auto& list = watches_[(~w).x];
     const auto it =
         std::find_if(list.begin(), list.end(),
-                     [c](const watcher& wa) { return wa.c == c; });
+                     [cr](const watcher& wa) { return wa.cr == cr; });
     assert(it != list.end());
     list.erase(it);
   }
 }
 
-void solver::enqueue(lit l, clause* reason)
+void solver::enqueue(lit l, uint32_t reason)
 {
   assert(value(l) == lbool::l_undef);
   const var v = l.variable();
@@ -274,12 +297,26 @@ void solver::enqueue(lit l, clause* reason)
   trail_.push_back(l);
 }
 
-solver::clause* solver::propagate()
+solver::conflict_ref solver::propagate()
 {
-  clause* conflict = nullptr;
+  conflict_ref conflict;
   while (qhead_ < trail_.size()) {
     const lit p = trail_[qhead_++];
     ++stats_.propagations;
+    // Implicit-binary fast path: one adjacency walk, no clause memory.
+    for (const binary_graph::edge& e : bin_.implied(p)) {
+      const lbool v = value(e.other);
+      if (v == lbool::l_false) {
+        conflict.binary = true;
+        conflict.a = ~p;
+        conflict.b = e.other;
+        qhead_ = trail_.size();
+        return conflict;
+      }
+      if (v == lbool::l_undef) {
+        enqueue(e.other, reason_binary(~p));
+      }
+    }
     auto& ws = watches_[p.x];
     std::size_t i = 0;
     std::size_t j = 0;
@@ -290,22 +327,22 @@ solver::clause* solver::propagate()
         continue;
       }
       if (w.binary) {
-        // A binary clause is fully described by the watcher: the blocker
-        // is the only other literal — no clause memory is touched until
-        // a conflict needs it.
+        // A binary arena clause is fully described by the watcher: the
+        // blocker is the only other literal — no clause memory is
+        // touched until a conflict needs it.
         ws[j++] = ws[i++];
         if (value(w.blocker) == lbool::l_false) {
-          conflict = w.c;
+          conflict.cr = w.cr;
           qhead_ = trail_.size();
           while (i < ws.size()) {
             ws[j++] = ws[i++];
           }
         } else {
-          enqueue(w.blocker, w.c);
+          enqueue(w.blocker, w.cr);
         }
         continue;
       }
-      clause& c = *w.c;
+      clause_db::clause& c = db_.deref(w.cr);
       const lit false_lit = ~p;
       if (c[0] == false_lit) {
         std::swap(c[0], c[1]);
@@ -314,14 +351,14 @@ solver::clause* solver::propagate()
       ++i;
       const lit first = c[0];
       if (first != w.blocker && value(first) == lbool::l_true) {
-        ws[j++] = watcher{w.c, first};
+        ws[j++] = watcher{w.cr, first, 0u};
         continue;
       }
       bool found = false;
-      for (std::size_t k = 2; k < c.size; ++k) {
+      for (std::size_t k = 2; k < c.size(); ++k) {
         if (value(c[k]) != lbool::l_false) {
           std::swap(c[1], c[k]);
-          watches_[(~c[1]).x].push_back(watcher{w.c, first});
+          watches_[(~c[1]).x].push_back(watcher{w.cr, first, 0u});
           found = true;
           break;
         }
@@ -330,15 +367,15 @@ solver::clause* solver::propagate()
         continue;
       }
       // Clause is unit or conflicting under the current assignment.
-      ws[j++] = watcher{w.c, first};
+      ws[j++] = watcher{w.cr, first, 0u};
       if (value(first) == lbool::l_false) {
-        conflict = w.c;
+        conflict.cr = w.cr;
         qhead_ = trail_.size();
         while (i < ws.size()) {
           ws[j++] = ws[i++];
         }
       } else {
-        enqueue(first, w.c);
+        enqueue(first, w.cr);
       }
     }
     ws.resize(j);
@@ -346,7 +383,7 @@ solver::clause* solver::propagate()
   return conflict;
 }
 
-void solver::analyze(clause* conflict, std::vector<lit>& learnt,
+void solver::analyze(const conflict_ref& conflict, std::vector<lit>& learnt,
                      uint32_t& bt_level)
 {
   learnt.clear();
@@ -356,13 +393,27 @@ void solver::analyze(clause* conflict, std::vector<lit>& learnt,
   p.x = undef_lit_x;
   std::size_t index = trail_.size();
 
-  clause* c = conflict;
-  do {
-    assert(c != nullptr);
-    if (c->learnt) {
-      bump_clause(c);
+  // Current antecedent (the conflict first, then reasons); implicit
+  // binaries materialize into bin_lits_.
+  const lit* ante_begin;
+  const lit* ante_end;
+  if (conflict.binary) {
+    bin_lits_[0] = conflict.a;
+    bin_lits_[1] = conflict.b;
+    ante_begin = bin_lits_;
+    ante_end = bin_lits_ + 2;
+  } else {
+    if (db_.deref(conflict.cr).learnt()) {
+      bump_clause(conflict.cr);
     }
-    for (const lit q : *c) {
+    const clause_db::clause& c = db_.deref(conflict.cr);
+    ante_begin = c.begin();
+    ante_end = c.end();
+  }
+
+  for (;;) {
+    for (const lit* it = ante_begin; it != ante_end; ++it) {
+      const lit q = *it;
       if (q.x == p.x) {
         continue;
       }
@@ -381,10 +432,27 @@ void solver::analyze(clause* conflict, std::vector<lit>& learnt,
       --index;
     }
     p = trail_[--index];
-    c = reason_[p.variable()];
     seen_[p.variable()] = false;
     --path_count;
-  } while (path_count > 0u);
+    if (path_count == 0u) {
+      break;
+    }
+    const uint32_t r = reason_[p.variable()];
+    assert(r != reason_none);
+    if (is_binary_reason(r)) {
+      bin_lits_[0] = p;
+      bin_lits_[1] = binary_reason_other(r);
+      ante_begin = bin_lits_;
+      ante_end = bin_lits_ + 2;
+    } else {
+      if (db_.deref(r).learnt()) {
+        bump_clause(r);
+      }
+      const clause_db::clause& c = db_.deref(r);
+      ante_begin = c.begin();
+      ante_end = c.end();
+    }
+  }
   learnt[0] = ~p;
 
   // Conflict-clause minimization (MiniSat's deep check).
@@ -395,7 +463,7 @@ void solver::analyze(clause* conflict, std::vector<lit>& learnt,
   }
   std::size_t keep = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
-    if (reason_[learnt[i].variable()] == nullptr ||
+    if (reason_[learnt[i].variable()] == reason_none ||
         !lit_redundant(learnt[i], abstract)) {
       learnt[keep++] = learnt[i];
     }
@@ -427,22 +495,34 @@ bool solver::lit_redundant(lit l, uint32_t abstract_levels)
   // A literal of the learnt clause is redundant if its reason-DAG closure
   // only reaches literals already in the clause (seen) or level-0 facts.
   // The implied literal of a reason clause is identified by variable (the
-  // binary fast path does not normalize it to index 0).
+  // binary fast paths do not normalize it to index 0).
   analyze_stack_.clear();
   analyze_stack_.push_back(l);
   const std::size_t clear_mark = analyze_clear_.size();
   while (!analyze_stack_.empty()) {
     const lit p = analyze_stack_.back();
     analyze_stack_.pop_back();
-    const clause* c = reason_[p.variable()];
-    assert(c != nullptr);
-    for (std::size_t k = 0; k < c->size; ++k) {
-      const lit q = (*c)[k];
+    const uint32_t r = reason_[p.variable()];
+    assert(r != reason_none);
+    const lit* qb;
+    const lit* qe;
+    if (is_binary_reason(r)) {
+      bin_lits_[0] = p;
+      bin_lits_[1] = binary_reason_other(r);
+      qb = bin_lits_;
+      qe = bin_lits_ + 2;
+    } else {
+      const clause_db::clause& c = db_.deref(r);
+      qb = c.begin();
+      qe = c.end();
+    }
+    for (const lit* it = qb; it != qe; ++it) {
+      const lit q = *it;
       const var v = q.variable();
       if (v == p.variable() || seen_[v] || level_[v] == 0u) {
         continue;
       }
-      if (reason_[v] == nullptr ||
+      if (reason_[v] == reason_none ||
           ((1u << (level_[v] & 31u)) & abstract_levels) == 0u) {
         // Not removable: undo the marks added during this check.
         for (std::size_t i = clear_mark; i < analyze_clear_.size(); ++i) {
@@ -467,9 +547,11 @@ void solver::backtrack(uint32_t level)
   const std::size_t bound = trail_lim_[level];
   for (std::size_t i = trail_.size(); i-- > bound;) {
     const var v = trail_[i].variable();
-    polarity_[v] = assigns_[v] == lbool::l_false;
+    if (!preserve_phases_) {
+      polarity_[v] = assigns_[v] == lbool::l_false;
+    }
     assigns_[v] = lbool::l_undef;
-    reason_[v] = nullptr;
+    reason_[v] = reason_none;
     if (decision_[v] && !heap_contains(v)) {
       heap_insert(v);
     }
@@ -522,12 +604,14 @@ void solver::bump_var(var v)
   }
 }
 
-void solver::bump_clause(clause* c)
+void solver::bump_clause(cref cr)
 {
-  c->activity += clause_inc_;
-  if (c->activity > 1e20f) {
-    for (clause* l : learnts_) {
-      l->activity *= 1e-20f;
+  clause_db::clause& c = db_.deref(cr);
+  c.set_activity(c.activity() + clause_inc_);
+  if (c.activity() > 1e20f) {
+    for (const cref l : learnts_) {
+      clause_db::clause& lc = db_.deref(l);
+      lc.set_activity(lc.activity() * 1e-20f);
     }
     clause_inc_ *= 1e-20f;
   }
@@ -539,28 +623,118 @@ void solver::decay_var_activity()
   clause_inc_ /= 0.999f;
 }
 
-void solver::reduce_db()
+uint32_t solver::compute_lbd(std::span<const lit> lits)
 {
-  std::sort(learnts_.begin(), learnts_.end(),
-            [](const clause* a, const clause* b) {
-              return a->activity < b->activity;
-            });
-  const auto locked = [&](const clause* c) {
-    return value((*c)[0]) == lbool::l_true &&
-           reason_[(*c)[0].variable()] == c;
-  };
-  std::size_t j = 0;
-  const std::size_t half = learnts_.size() / 2u;
-  for (std::size_t i = 0; i < learnts_.size(); ++i) {
-    clause* c = learnts_[i];
-    if (i < half && c->size > 2u && !locked(c)) {
-      detach(c);
-      clause::destroy(c);
-    } else {
-      learnts_[j++] = c;
+  // Distinct decision levels among the literals, stamped against a
+  // per-call epoch; called before backtracking, while levels are live.
+  ++lbd_stamp_;
+  uint32_t count = 0;
+  for (const lit l : lits) {
+    const uint32_t lev = level_[l.variable()];
+    if (lbd_mark_[lev] != lbd_stamp_) {
+      lbd_mark_[lev] = lbd_stamp_;
+      ++count;
     }
   }
-  learnts_.resize(j);
+  return count;
+}
+
+void solver::reduce_db()
+{
+  // Rank the deletable learnts worst-first by (LBD desc, activity asc)
+  // and drop the worse half.  Glue clauses (LBD ≤ 2), binaries, and
+  // clauses locked as reasons always survive; the cref tie-break keeps
+  // the order fully deterministic.
+  const auto locked = [&](cref cr) {
+    const clause_db::clause& c = db_.deref(cr);
+    return value(c[0]) == lbool::l_true &&
+           reason_[c[0].variable()] == cr;
+  };
+  std::vector<cref> cand;
+  cand.reserve(learnts_.size());
+  for (const cref cr : learnts_) {
+    const clause_db::clause& c = db_.deref(cr);
+    if (c.size() > 2u && c.lbd() > 2u && !locked(cr)) {
+      cand.push_back(cr);
+    }
+  }
+  std::sort(cand.begin(), cand.end(), [&](cref a, cref b) {
+    const clause_db::clause& ca = db_.deref(a);
+    const clause_db::clause& cb = db_.deref(b);
+    if (ca.lbd() != cb.lbd()) {
+      return ca.lbd() > cb.lbd();
+    }
+    if (ca.activity() != cb.activity()) {
+      return ca.activity() < cb.activity();
+    }
+    return a < b;
+  });
+  const std::size_t target = cand.size() / 2u;
+  for (std::size_t i = 0; i < target; ++i) {
+    detach(cand[i]);
+    db_.free_clause(cand[i]);
+  }
+  if (target != 0u) {
+    learnts_.erase(
+        std::remove_if(learnts_.begin(), learnts_.end(),
+                       [&](cref cr) { return db_.deref(cr).removed(); }),
+        learnts_.end());
+    stats_.learnts_reduced += target;
+  }
+  check_garbage();
+}
+
+void solver::check_garbage()
+{
+  if (db_.want_gc()) {
+    garbage_collect();
+  }
+}
+
+void solver::garbage_collect()
+{
+  db_.begin_gc();
+  for (auto& ws : watches_) {
+    for (watcher& w : ws) {
+      db_.reloc(w.cr);
+    }
+  }
+  // Live reasons are exactly the cref reasons of trail variables (freed
+  // clauses were unhooked before free).
+  for (const lit l : trail_) {
+    uint32_t& r = reason_[l.variable()];
+    if (r != reason_none && !is_binary_reason(r)) {
+      cref cr = r;
+      db_.reloc(cr);
+      r = cr;
+    }
+  }
+  for (cref& cr : clauses_) {
+    db_.reloc(cr);
+  }
+  for (cref& cr : learnts_) {
+    db_.reloc(cr);
+  }
+  for (cref& cr : removable_slots_) {
+    if (cr != cref_undef) {
+      db_.reloc(cr);
+    }
+  }
+  // The per-solve learnt log: entries whose clause was deleted are
+  // dropped (nothing left to purge), the rest follow their clause.
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < learnt_log_.size(); ++i) {
+    learnt_record rec = learnt_log_[i];
+    if (rec.cr != cref_undef) {
+      if (db_.deref(rec.cr).removed()) {
+        continue;
+      }
+      db_.reloc(rec.cr);
+    }
+    learnt_log_[j++] = rec;
+  }
+  learnt_log_.resize(j);
+  db_.end_gc();
 }
 
 result solver::solve(std::span<const lit> assumptions,
@@ -568,8 +742,7 @@ result solver::solve(std::span<const lit> assumptions,
 {
   ++stats_.solve_calls;
   model_.clear();
-  learnts_at_solve_ = learnts_.size();
-  db_reduced_in_solve_ = false;
+  learnt_log_.clear();
   if (!ok_) {
     return result::unsat;
   }
@@ -580,7 +753,7 @@ result solver::solve(std::span<const lit> assumptions,
     return result::unknown;
   }
   backtrack(0u);
-  if (propagate() != nullptr) {
+  if (propagate().valid()) {
     ok_ = false;
     return result::unsat;
   }
@@ -601,13 +774,11 @@ result solver::solve(std::span<const lit> assumptions,
   uint64_t restart_index = 0;
   uint64_t restart_budget = 100u * luby(restart_index);
   uint64_t conflicts_since_restart = 0;
-  std::size_t max_learnts = std::max<std::size_t>(
-      1000u, clauses_.size() / 3u + 100u);
   std::vector<lit> learnt;
 
   for (;;) {
-    clause* conflict = propagate();
-    if (conflict != nullptr) {
+    const conflict_ref conflict = propagate();
+    if (conflict.valid()) {
       ++stats_.conflicts;
       ++conflicts_this_call;
       ++conflicts_since_restart;
@@ -618,16 +789,28 @@ result solver::solve(std::span<const lit> assumptions,
       }
       uint32_t bt_level = 0;
       analyze(conflict, learnt, bt_level);
+      const uint32_t lbd =
+          learnt.size() > 1u ? compute_lbd(learnt) : 1u;
       backtrack(bt_level);
       if (learnt.size() == 1u) {
-        enqueue(learnt[0], nullptr);
+        enqueue(learnt[0], reason_none);
       } else {
-        clause* c = clause::make(learnt, true);
-        learnts_.push_back(c);
+        stats_.lbd_sum += lbd;
         ++stats_.learnt_clauses;
-        attach(c);
-        bump_clause(c);
-        enqueue(learnt[0], c);
+        if (learnt.size() == 2u && opt_.implicit_binaries) {
+          bin_.add(learnt[0], learnt[1], true);
+          ++stats_.binary_clauses;
+          learnt_log_.push_back(
+              learnt_record{cref_undef, learnt[0], learnt[1]});
+          enqueue(learnt[0], reason_binary(learnt[1]));
+        } else {
+          const cref cr = db_.alloc(learnt, true, lbd);
+          learnts_.push_back(cr);
+          learnt_log_.push_back(learnt_record{cr, lit{}, lit{}});
+          attach(cr);
+          bump_clause(cr);
+          enqueue(learnt[0], cr);
+        }
       }
       decay_var_activity();
       if (hooks_ != nullptr &&
@@ -652,10 +835,11 @@ result solver::solve(std::span<const lit> assumptions,
         backtrack(0u);
         continue;
       }
-      if (learnts_.size() >= max_learnts + trail_.size()) {
+      if (opt_.reduce_learnts &&
+          static_cast<double>(learnts_.size()) >=
+              reduce_limit_ + static_cast<double>(trail_.size())) {
         reduce_db();
-        db_reduced_in_solve_ = true;
-        max_learnts = max_learnts * 11u / 10u;
+        reduce_limit_ += static_cast<double>(opt_.reduce_increment);
       }
 
       lit next;
@@ -684,7 +868,7 @@ result solver::solve(std::span<const lit> assumptions,
         ++stats_.decisions;
       }
       trail_lim_.push_back(static_cast<uint32_t>(trail_.size()));
-      enqueue(next, nullptr);
+      enqueue(next, reason_none);
     }
   }
 }
@@ -695,6 +879,37 @@ bool solver::model_value(var v) const
     return false;
   }
   return model_[v] == lbool::l_true;
+}
+
+void solver::copy_clauses(std::vector<std::vector<lit>>& out,
+                          bool include_learnts) const
+{
+  assert(decision_level() == 0u);
+  for (const lit l : trail_) {
+    out.push_back({l});
+  }
+  bin_.for_each_clause([&](lit a, lit b, bool learnt) {
+    if (!learnt || include_learnts) {
+      out.push_back({a, b});
+    }
+  });
+  for (const cref cr : clauses_) {
+    const clause_db::clause& c = db_.deref(cr);
+    out.emplace_back(c.begin(), c.end());
+  }
+  for (const cref cr : removable_slots_) {
+    if (cr == cref_undef) {
+      continue;
+    }
+    const clause_db::clause& c = db_.deref(cr);
+    out.emplace_back(c.begin(), c.end());
+  }
+  if (include_learnts) {
+    for (const cref cr : learnts_) {
+      const clause_db::clause& c = db_.deref(cr);
+      out.emplace_back(c.begin(), c.end());
+    }
+  }
 }
 
 void solver::heap_insert(var v)

@@ -6,11 +6,18 @@
 /// assumptions, adding clauses between calls, a per-call conflict budget
 /// whose exhaustion yields `result::unknown` (the paper's `unDET`), and
 /// model extraction for counter-examples (line 26).  Implementation:
-/// two-watched-literal propagation, first-UIP learning with clause
-/// minimization, VSIDS decision heap with phase saving, Luby restarts,
-/// and activity-based learnt-clause reduction.
+/// two-watched-literal propagation over an arena clause database
+/// (sat/clause_db.hpp) with an implicit binary-clause fast path
+/// (sat/binary_graph.hpp), first-UIP learning with clause minimization
+/// and learn-time LBD, VSIDS decision heap with phase saving, Luby
+/// restarts, and glue/activity-ranked learnt-clause reduction.  This
+/// file orchestrates search and propagation only; clause storage, the
+/// binary implication graph, and between-query inprocessing live in
+/// their own modules.
 #pragma once
 
+#include "sat/binary_graph.hpp"
+#include "sat/clause_db.hpp"
 #include "sat/resource.hpp"
 #include "sat/types.hpp"
 
@@ -28,15 +35,53 @@ struct solver_stats
   uint64_t restarts = 0;
   uint64_t learnt_clauses = 0;
   uint64_t solve_calls = 0;
+
+  /// \name Clause-database policy counters (PR 10)
+  /// Lifetime counters (never decremented), so sums across garbage
+  /// epochs and shard-local solvers stay meaningful.
+  /// \{
+  uint64_t learnts_reduced = 0;  ///< learnt clauses deleted by reduce_db
+  uint64_t lbd_sum = 0;          ///< Σ learn-time LBD over learnt clauses
+  uint64_t binary_clauses = 0;   ///< binary clauses ever added
+  uint64_t lits_collapsed = 0;   ///< variables eliminated by equiv collapsing
+  uint64_t clauses_subsumed = 0; ///< clauses deleted by backward subsumption
+  double inprocess_seconds = 0.0; ///< wall-clock spent inprocessing
+  /// \}
+};
+
+/// Clause-database policy switches.  The defaults are the production
+/// configuration; the ablation/naive paths exist so tests and bench
+/// rows can pin the new machinery against the plain watched-clause
+/// solver (verdicts must be identical, trajectories may differ).
+struct solver_options
+{
+  /// Glue/activity-ranked learnt reduction (reduce_db).  Off = learnts
+  /// only ever leave via purges and garbage epochs (the epoch-only
+  /// baseline the `sat_clauses_peak` delta is measured against).
+  bool reduce_learnts = true;
+  /// Problem/learnt binary clauses live in the binary implication graph
+  /// with the dedicated propagation fast path.  Off = every binary is a
+  /// watched arena clause (the naive path).  Removable clauses always
+  /// stay watched — a retractable clause must never bake an equivalence
+  /// into the graph.
+  bool implicit_binaries = true;
+  /// reduce_db triggers once the arena learnts exceed this; each
+  /// reduction raises the limit by `reduce_increment` (persistent
+  /// across solve() calls — the database outlives thousands of
+  /// queries).  Tests shrink it to force reductions on tiny instances.
+  uint32_t reduce_base = 4000;
+  uint32_t reduce_increment = 300;
 };
 
 class solver
 {
 public:
-  solver();
+  explicit solver(solver_options opt = {});
   ~solver();
   solver(const solver&) = delete;
   solver& operator=(const solver&) = delete;
+
+  const solver_options& options() const noexcept { return opt_; }
 
   var new_var();
   uint32_t num_vars() const noexcept
@@ -56,7 +101,9 @@ public:
   /// equivalence query), so they do not pile up and slow every later
   /// propagation.  Must be called at decision level 0.  Returns null when
   /// the clause simplified away (satisfied, tautological, or unit — unit
-  /// facts are permanent).
+  /// facts are permanent).  Handles are stable slot indices, valid
+  /// across solve() calls even when reduce_db or the arena GC move
+  /// clause memory underneath them.
   clause_handle add_removable_clause(std::span<const lit> lits);
 
   /// Retracts a clause previously added with `add_removable_clause`.
@@ -69,11 +116,12 @@ public:
   /// implied (definitional extensions are conservative).  Must be called
   /// at decision level 0.
   ///
-  /// Precondition: only the clauses learnt during the most recent
-  /// solve() are scanned (unless reduce_db reshuffled the list), so any
-  /// earlier learnt clause mentioning v must already have been purged —
-  /// i.e. call this after *every* solve issued while v's auxiliary
-  /// definition was attached, as aig_encoder::prove_equivalent does.
+  /// Scans the per-solve learnt log (every clause learnt since solve()
+  /// began, kept relocation-safe across reduce_db and the arena GC), so
+  /// it is correct under any database reshuffle.  Call it after *every*
+  /// solve issued while v's auxiliary definition was attached, as
+  /// aig_encoder::prove_equivalent does — clauses learnt in earlier
+  /// solves must already have been purged then.
   void purge_learnts_with(var v);
 
   /// Level-0 value of a variable (l_undef if not permanently fixed).
@@ -115,7 +163,10 @@ public:
   /// propagation-closed assignment of the listed variables always
   /// extends to a total model.  The caller must list the full *encoded*
   /// support closure of the query, or partial models may not extend.
-  /// Must be called at decision level 0.
+  /// (Equivalent-literal collapsing preserves this: an eliminated
+  /// variable keeps its defining equivalence binaries, so it and its
+  /// representative propagate each other eagerly.)  Must be called at
+  /// decision level 0.
   void set_decision_vars(std::span<const var> vars);
 
   /// Installs (or clears, with nullptr) the cooperative resource hooks
@@ -138,50 +189,85 @@ public:
 
   const solver_stats& stats() const noexcept { return stats_; }
 
-  /// Problem clauses currently in the database (permanent + removable;
-  /// unit facts live on the trail and are not counted).
+  /// Problem clauses currently in the database (permanent + removable +
+  /// implicit problem binaries; unit facts live on the trail and are not
+  /// counted).
   std::size_t num_clauses() const noexcept
   {
-    return clauses_.size() + removables_.size();
+    return clauses_.size() + num_removables_ +
+           static_cast<std::size_t>(bin_.live_problem());
   }
-  /// Learnt clauses currently retained (reduce_db and purges shrink this).
-  std::size_t num_learnts() const noexcept { return learnts_.size(); }
+  /// Learnt clauses currently retained (arena + implicit learnt
+  /// binaries; reduce_db and purges shrink this).
+  std::size_t num_learnts() const noexcept
+  {
+    return learnts_.size() + static_cast<std::size_t>(bin_.live_learnt());
+  }
 
   /// True once the clause database is unconditionally unsatisfiable.
   bool in_conflict() const noexcept { return !ok_; }
 
+  /// Copies the live clause database in export order: level-0 unit
+  /// facts, implicit binaries, arena problem clauses, removable
+  /// clauses, then (optionally) learnt clauses.  Must be called at
+  /// decision level 0; feeds `export_dimacs` (sat/dimacs.hpp) so any
+  /// query can be replayed standalone.
+  void copy_clauses(std::vector<std::vector<lit>>& out,
+                    bool include_learnts = false) const;
+
 private:
-  /// Clause header with the literals stored inline, immediately after the
-  /// header, in one allocation — the hot propagation loop reads literals
-  /// without a second pointer chase through a vector.
-  struct clause
-  {
-    float activity = 0.0f;
-    uint32_t size = 0;
-    bool learnt = false;
+  friend class inprocessor; // between-query simplification (inprocess.hpp)
 
-    lit* begin() noexcept { return reinterpret_cast<lit*>(this + 1); }
-    const lit* begin() const noexcept
-    {
-      return reinterpret_cast<const lit*>(this + 1);
-    }
-    lit* end() noexcept { return begin() + size; }
-    const lit* end() const noexcept { return begin() + size; }
-    lit& operator[](std::size_t i) noexcept { return begin()[i]; }
-    lit operator[](std::size_t i) const noexcept { return begin()[i]; }
-
-    static clause* make(std::span<const lit> lits, bool learnt);
-    static void destroy(clause* c);
-  };
-
+  /// Watcher entry for arena clauses.  Binary arena clauses (the only
+  /// binaries outside the implication graph: removables always, every
+  /// binary when `implicit_binaries` is off) keep the blocker-only fast
+  /// path: the blocker is the one other literal, so propagation decides
+  /// keep/enqueue/conflict without touching clause memory.
   struct watcher
   {
-    clause* c = nullptr;
+    cref cr = cref_undef;
     lit blocker;
-    /// Binary-clause flag: the blocker is the only other literal, so
-    /// propagation can decide keep/enqueue/conflict from the watcher
-    /// alone (fits in the struct's existing padding).
     uint32_t binary = 0;
+  };
+
+  /// Reason encoding: cref, or an implicit binary clause, or none.
+  /// A binary reason for literal p stores the *other* literal o of the
+  /// implicit clause (p ∨ o) tagged in the top bit; `reason_none` does
+  /// not collide (its payload would be an impossible literal).
+  static constexpr uint32_t reason_none = ~uint32_t{0};
+  static constexpr uint32_t reason_binary_flag = 0x8000'0000u;
+  static uint32_t reason_binary(lit other) noexcept
+  {
+    return reason_binary_flag | other.x;
+  }
+  static bool is_binary_reason(uint32_t r) noexcept
+  {
+    return r != reason_none && (r & reason_binary_flag) != 0u;
+  }
+  static lit binary_reason_other(uint32_t r) noexcept
+  {
+    lit l;
+    l.x = r & ~reason_binary_flag;
+    return l;
+  }
+
+  /// Conflict descriptor: an arena clause, or an implicit binary
+  /// materialized as two literals.
+  struct conflict_ref
+  {
+    cref cr = cref_undef;
+    lit a, b;
+    bool binary = false;
+    bool valid() const noexcept { return binary || cr != cref_undef; }
+  };
+
+  /// Per-solve learnt record for purge_learnts_with: the clauses learnt
+  /// since solve() began, as relocation-tracked crefs or implicit
+  /// binary literal pairs (cr == cref_undef).
+  struct learnt_record
+  {
+    cref cr = cref_undef;
+    lit a, b;
   };
 
   lbool value(lit l) const noexcept
@@ -193,20 +279,27 @@ private:
     return static_cast<uint32_t>(trail_lim_.size());
   }
 
-  void attach(clause* c);
-  void detach(clause* c);
-  /// Nulls every level-0 reason pointer into \p c before it is deleted.
-  void unhook_reasons(clause* c);
-  void enqueue(lit l, clause* reason);
-  clause* propagate();
-  void analyze(clause* conflict, std::vector<lit>& learnt, uint32_t& bt_level);
+  void attach(cref cr);
+  void detach(cref cr);
+  /// Nulls every level-0 reason reference into \p cr before it is freed.
+  void unhook_reasons(cref cr);
+  void enqueue(lit l, uint32_t reason);
+  conflict_ref propagate();
+  void analyze(const conflict_ref& conflict, std::vector<lit>& learnt,
+               uint32_t& bt_level);
   bool lit_redundant(lit l, uint32_t abstract_levels);
   void backtrack(uint32_t level);
   lit pick_branch();
   void bump_var(var v);
-  void bump_clause(clause* c);
+  void bump_clause(cref cr);
   void decay_var_activity();
+  uint32_t compute_lbd(std::span<const lit> lits);
   void reduce_db();
+  /// Compacts the arena once enough waste accumulated, relocating every
+  /// live reference (watchers, trail reasons, clause lists, removable
+  /// slots, the per-solve learnt log).
+  void check_garbage();
+  void garbage_collect();
   void heap_insert(var v);
   var heap_pop();
   void heap_up(uint32_t i);
@@ -218,20 +311,30 @@ private:
   /// no representation (tautology or already satisfied).
   bool simplify_clause(std::span<const lit> lits, std::vector<lit>& out);
 
+  solver_options opt_;
   bool ok_ = true;
   bool restricted_ = false;       // set_decision_vars has been used
+  bool preserve_phases_ = false;  // backtrack skips phase saving (inprocess)
   std::vector<uint8_t> decision_; // var → may be picked by pick_branch
   std::vector<var> decision_list_; // vars currently flagged (restricted)
-  std::vector<clause*> clauses_;
-  std::vector<clause*> learnts_;
-  std::vector<clause*> removables_;
-  std::size_t learnts_at_solve_ = 0; // learnts_.size() when solve() began
-  bool db_reduced_in_solve_ = false; // reduce_db ran since solve() began
+
+  clause_db db_;
+  binary_graph bin_;
+  std::vector<cref> clauses_;
+  std::vector<cref> learnts_;
+  /// Retractable clauses by stable slot (clause_handle = slot + 1);
+  /// cref_undef marks a free slot (recycled through removable_free_).
+  std::vector<cref> removable_slots_;
+  std::vector<uint32_t> removable_free_;
+  std::size_t num_removables_ = 0;
+  std::vector<learnt_record> learnt_log_; // cleared at each solve() entry
+  double reduce_limit_ = 0.0;             // persistent reduce_db trigger
+
   std::vector<std::vector<watcher>> watches_; // indexed by lit.x
   std::vector<lbool> assigns_;
   std::vector<bool> polarity_;  // saved phases (true = last was negative)
   std::vector<uint32_t> level_;
-  std::vector<clause*> reason_;
+  std::vector<uint32_t> reason_; // reason encoding, see above
   std::vector<lit> trail_;
   std::vector<uint32_t> trail_lim_;
   std::size_t qhead_ = 0;
@@ -251,10 +354,13 @@ private:
   std::vector<uint32_t> heap_pos_;  // var → heap index + 1 (0 = absent)
   float clause_inc_ = 1.0f;
 
-  // scratch for analyze
+  // scratch for analyze / LBD
   std::vector<bool> seen_;
   std::vector<lit> analyze_stack_;
   std::vector<lit> analyze_clear_;
+  std::vector<uint32_t> lbd_mark_; // level → last stamp
+  uint32_t lbd_stamp_ = 0;
+  lit bin_lits_[2]; // scratch: materialized implicit binary antecedent
 
   std::vector<lbool> model_;
   solver_stats stats_;

@@ -50,6 +50,12 @@ sweep_stats fraig_sweep(net::aig_network& aig, const fraig_params& params)
     stats.sat_conflicts = solver_totals.conflicts;
     stats.sat_decisions = solver_totals.decisions;
     stats.sat_restarts = solver_totals.restarts;
+    stats.sat_learnts_reduced = solver_totals.learnts_reduced;
+    stats.sat_lbd_sum = solver_totals.lbd_sum;
+    stats.sat_binary_clauses = solver_totals.binary_clauses;
+    stats.sat_lits_collapsed = solver_totals.lits_collapsed;
+    stats.sat_clauses_subsumed = solver_totals.clauses_subsumed;
+    stats.sat_inprocess_seconds = solver_totals.inprocess_seconds;
   };
 
   // Initial simulation (guided, like `&fraig -x`) and candidate classes.

@@ -123,6 +123,20 @@ struct sweep_stats
   uint64_t phase_seed_words = 0;
   /// \}
 
+  /// \name Clause-database policy counters (solver_stats, all rebuilds)
+  /// The memory-pressure trajectory: reduce_db + inprocessing keep the
+  /// long-lived incremental database lean *between* garbage epochs, so
+  /// `sat_clauses_peak` stops riding the clause budget on query-heavy
+  /// rows.
+  /// \{
+  uint64_t sat_learnts_reduced = 0; ///< learnts deleted by reduce_db
+  uint64_t sat_lbd_sum = 0;         ///< Σ learn-time LBD (avg = /learnts)
+  uint64_t sat_binary_clauses = 0;  ///< clauses routed to the binary graph
+  uint64_t sat_lits_collapsed = 0;  ///< vars eliminated by equiv collapsing
+  uint64_t sat_clauses_subsumed = 0; ///< clauses deleted by subsumption
+  double sat_inprocess_seconds = 0.0; ///< wall-clock spent inprocessing
+  /// \}
+
   /// \name Signature-store memory counters (candidate + CE stores)
   /// \{
   bool has_store_counters = false; ///< engine tracks a word budget
